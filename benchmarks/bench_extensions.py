@@ -1,0 +1,93 @@
+"""Benchmarks for the extension features (beyond the paper's figures).
+
+* the latency/throughput frontier (the [13]-style trade-off curve),
+* cost-error sensitivity of the optimal schedule,
+* schedule-table serialization round trip,
+* the live splitter/worker/joiner pool on the real T4 kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frontier import latency_throughput_frontier
+from repro.core.optimal import OptimalScheduler
+from repro.core.sensitivity import sensitivity_profile
+from repro.core.serialize import table_from_json, table_to_json
+from repro.core.table import ScheduleTable
+from repro.state import State, StateSpace
+
+
+def test_frontier_computation(benchmark, tracker_graph, smp4, m8):
+    front = benchmark(
+        latency_throughput_frontier, tracker_graph, m8, smp4,
+        comm=None, latency_slack=3.0,
+    )
+    print()
+    for p in front:
+        print(f"  L={p.latency:.3f}s  throughput={p.throughput:.3f}/s  "
+              f"II={p.period:.3f}s")
+    lats = [p.latency for p in front]
+    assert lats == sorted(lats)
+
+
+@pytest.mark.parametrize("error", [0.1, 0.4])
+def test_sensitivity_profile(benchmark, tracker_graph, smp4, m8, error):
+    sol = OptimalScheduler(smp4).solve(tracker_graph, m8)
+    profile = benchmark.pedantic(
+        lambda: sensitivity_profile(
+            sol.iteration, tracker_graph, m8, smp4,
+            error_level=error, trials=10, seed=0,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    print(f"\n  error ±{error:.0%}: mean regret {profile.mean_regret:.2%}, "
+          f"structure stable {profile.structure_stable_fraction:.0%}")
+
+
+def test_table_serialization_round_trip(benchmark, tracker_graph, smp4):
+    table = ScheduleTable.build(
+        tracker_graph, StateSpace.range("n_models", 1, 5), OptimalScheduler(smp4)
+    )
+
+    def round_trip():
+        return table_from_json(table_to_json(table))
+
+    restored = benchmark(round_trip)
+    assert len(restored) == 5
+
+
+def test_sjw_pool_on_real_kernel(benchmark):
+    """Live Figure 9 machinery: split/farm/join the real T4 kernel."""
+    from repro.apps.colormodel import color_histogram
+    from repro.apps.tracker.kernels import (
+        change_detection,
+        frame_histogram,
+        target_detection_chunk,
+    )
+    from repro.apps.video import VideoSource
+    from repro.decomp.sjw import SplitJoinPool
+    from repro.decomp.strategies import Decomposition
+
+    video = VideoSource(n_targets=4, height=96, width=128, seed=0)
+    frame = video.frame(1)
+    mask = change_detection(frame, video.frame(0))
+    fh = frame_histogram(frame)
+    models = [color_histogram(video.model_patch(i)) for i in range(4)]
+    decomp = Decomposition(2, 2)
+
+    def split(state, inputs):
+        return [
+            (chunk, {}) for chunk in decomp.chunks(frame.shape[0], 4)
+        ]
+
+    def work(state, chunk, chunk_inputs):
+        return target_detection_chunk(frame, chunk, models, fh, mask)
+
+    def join(state, results):
+        return {"planes": results}
+
+    with SplitJoinPool(4, split, work, join) as pool:
+        out = benchmark(pool.compute, State(n_models=4), {})
+        assert len(out["planes"]) == decomp.n_chunks

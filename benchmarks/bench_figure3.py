@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Figure 3 (tuning curve vs optimal schedule).
+
+Prints the reproduced curve and times its two components: one hand-tuned
+operating point under the on-line scheduler, and the optimal pre-computed
+schedule (Figure 6 solve + pipelined execution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import OptimalScheduler
+from repro.experiments.figure3 import expanded_tracker_for_tuning, run_figure3
+from repro.runtime.static_exec import StaticExecutor
+from repro.sched.handtuned import measure_point
+
+
+def test_figure3_full_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure3(
+            periods=(0.033, 1.0, 2.0, 3.0, 5.0), horizon=60.0, optimal_iterations=12
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert result.optimal_dominates_curve()
+    assert result.halves_worst_latency()
+
+
+@pytest.mark.parametrize("period", [0.033, 5.0])
+def test_tuned_point(benchmark, smp4, m8, period):
+    """Cost of measuring one operating point of the tuning curve."""
+    graph = expanded_tracker_for_tuning(8, 4)
+
+    def run():
+        point, _ = measure_point(
+            graph, m8, smp4, period, horizon=60.0,
+            input_policy="inorder", channel_capacity=2,
+        )
+        return point
+
+    point = benchmark.pedantic(run, rounds=2, iterations=1)
+    print(f"\n  period={period}: latency={point.latency:.2f}s thr={point.throughput:.3f}/s")
+
+
+def test_optimal_point(benchmark, tracker_graph, smp4, m8):
+    """Cost of the full optimal path: Figure 6 solve + 12 iterations."""
+
+    def run():
+        sol = OptimalScheduler(smp4).solve(tracker_graph, m8)
+        return StaticExecutor(tracker_graph, m8, smp4, sol).run(12)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.meta["slips"] == 0

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 4 (pthread schedule vs naive pipeline)."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import naive_pipeline
+from repro.experiments.figure4 import run_figure4
+from repro.runtime.dynamic import DynamicExecutor
+from repro.runtime.static_exec import StaticExecutor
+from repro.sched.handtuned import with_source_period
+from repro.sched.online import PthreadScheduler
+
+
+def test_figure4_full_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure4(horizon=60.0, iterations=10), rounds=1, iterations=1
+    )
+    print()
+    print(result.render(gantt_window=12.0))
+    assert result.pipeline_beats_pthread()
+
+
+def test_pthread_execution(benchmark, tracker_graph, smp4, m8):
+    """Simulation cost of the dynamic baseline (60 simulated seconds)."""
+    tuned = with_source_period(tracker_graph, 0.5)
+
+    def run():
+        return DynamicExecutor(
+            tuned, m8, smp4, PthreadScheduler(quantum=0.01)
+        ).run(horizon=60.0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.completed_count > 0
+
+
+def test_pipeline_execution(benchmark, tracker_graph, smp4, m8):
+    """Simulation cost of the static pipeline (10 iterations)."""
+    schedule = naive_pipeline(tracker_graph, m8, smp4)
+
+    def run():
+        return StaticExecutor(tracker_graph, m8, smp4, schedule).run(10)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.meta["slips"] == 0

@@ -1,0 +1,48 @@
+"""Benchmark: regenerate the §3.4 regime-switching comparison + ablations."""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import comm_cost, interpolation, switch_frequency
+from repro.experiments.regime import run_regime
+
+
+def test_regime_full_regeneration(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_regime(horizon=3600.0), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.switching_beats_all_fixed()
+
+
+def test_switch_frequency_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: switch_frequency(dwells=(60.0, 600.0), horizon=1200.0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for r in rows:
+        print(f"  dwell={r.mean_dwell:.0f}s: switches={r.switches} "
+              f"stall={r.stall_fraction:.2%} wins={r.switching_wins}")
+    assert all(r.switching_wins for r in rows)
+
+
+def test_interpolation_ablation(benchmark):
+    rows = benchmark.pedantic(interpolation, rounds=1, iterations=1)
+    print()
+    for r in rows:
+        neigh = "inapplicable" if r.neighbour_latency is None else f"{r.neighbour_latency:.3f}s"
+        print(f"  m={r.n_models}: exact={r.exact_latency:.3f}s neighbour={neigh}")
+    assert any(r.neighbour_latency is None for r in rows)
+
+
+def test_comm_cost_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: comm_cost(latencies=(0.0, 1.0)), rounds=1, iterations=1
+    )
+    print()
+    for r in rows:
+        print(f"  inter-node={r.inter_node_latency:.1f}s: L={r.latency:.3f}s "
+              f"nodes={r.nodes_touched} II={r.period:.3f}s")
+    assert rows[0].nodes_touched == 2 and rows[1].nodes_touched == 1

@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the substrates: DES engine, STM, kernels.
+
+Not a paper figure — these establish that the simulation substrate is fast
+enough for the experiment scales the figures use, and give a baseline for
+profiling regressions (the guides' "no optimization without measuring").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.colormodel import color_histogram
+from repro.apps.tracker import kernels
+from repro.apps.video import VideoSource
+from repro.sim.engine import Simulator
+from repro.stm.channel import STMChannel
+from repro.stm.gc import collect_channel
+
+
+def test_event_throughput(benchmark):
+    """Fire 10k chained timeout events."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker(sim, n):
+            for _ in range(n):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker(sim, 10_000))
+        sim.run()
+        return sim.now
+
+    now = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert now == pytest.approx(10.0)
+
+
+def test_stm_put_get_consume_cycle(benchmark):
+    """One full STM item lifecycle x 1000, including GC."""
+
+    def run():
+        chan = STMChannel("bench")
+        out = chan.attach_output("p")
+        inp = chan.attach_input("q")
+        for ts in range(1000):
+            chan.put(out, ts, ts)
+            chan.get(inp, ts)
+            chan.consume(inp, ts)
+            collect_channel(chan)
+        return chan.total_collected
+
+    collected = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert collected == 1000
+
+
+def test_target_detection_kernel(benchmark):
+    """The real T4 kernel on a 120x160 frame with 8 models."""
+    video = VideoSource(n_targets=8, height=120, width=160, seed=0)
+    frame = video.frame(0)
+    models = [color_histogram(video.model_patch(i)) for i in range(8)]
+    fh = kernels.frame_histogram(frame)
+    mask = kernels.change_detection(frame, video.frame(1))
+
+    planes = benchmark(kernels.target_detection, frame, models, fh, mask)
+    assert planes.shape == (8, 120, 160)
+
+
+def test_change_detection_kernel(benchmark):
+    video = VideoSource(n_targets=1, height=120, width=160, seed=0)
+    a, b = video.frame(0), video.frame(1)
+    mask = benchmark(kernels.change_detection, a, b)
+    assert mask.dtype == bool
+
+
+def test_histogram_kernel(benchmark):
+    frame = VideoSource(n_targets=1, height=120, width=160, seed=0).frame(0)
+    h = benchmark(kernels.frame_histogram, frame)
+    assert h.sum() == pytest.approx(1.0)
+
+
+def test_dynamic_executor_simulation_rate(benchmark, tracker_graph, smp4, m8):
+    """Simulated-seconds-per-wall-second of the dynamic executor."""
+    from repro.runtime.dynamic import DynamicExecutor
+    from repro.sched.handtuned import with_source_period
+    from repro.sched.online import PthreadScheduler
+
+    tuned = with_source_period(tracker_graph, 1.0)
+
+    def run():
+        return DynamicExecutor(
+            tuned, m8, smp4, PthreadScheduler(quantum=0.01)
+        ).run(horizon=30.0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.emitted >= 29

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Table 1 (decomposition latencies).
+
+Times both the analytic cost model and the simulated Figure 9 execution
+for every cell, and prints the reproduced table next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomp.costmodel import TABLE1_CALIBRATION
+from repro.decomp.strategies import Decomposition
+from repro.experiments.table1 import PAPER_TABLE1, run_table1, simulate_decomposition
+
+
+def test_table1_full_regeneration(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    print()
+    print(result.render())
+    assert result.shape_holds()
+
+
+@pytest.mark.parametrize("fp,m,mp", sorted(PAPER_TABLE1))
+def test_table1_cell_simulation(benchmark, fp, m, mp):
+    """Per-cell DES cost: one frame through the decomposed task."""
+    latency = benchmark(
+        simulate_decomposition, TABLE1_CALIBRATION, Decomposition(fp, mp), m, 4
+    )
+    paper = PAPER_TABLE1[(fp, m, mp)]
+    print(f"\n  FP={fp} m={m} MP={mp}: simulated={latency:.3f}s paper={paper:.3f}s")
+    assert abs(latency - paper) / paper < 0.06
+
+
+def test_table1_analytic_model(benchmark, m8):
+    """The pure cost-model evaluation is microseconds — the point of
+    pre-computing the decomposition table off-line."""
+
+    def evaluate_all():
+        return [
+            TABLE1_CALIBRATION.latency(Decomposition(fp, mp), m)
+            for (fp, m, mp) in PAPER_TABLE1
+        ]
+
+    values = benchmark(evaluate_all)
+    assert len(values) == 6

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` module regenerates one paper table or figure (printing the
+reproduced rows/series) and times the code that produces it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.tracker.graph import build_tracker_graph
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+
+@pytest.fixture(scope="session")
+def smp4():
+    return SINGLE_NODE_SMP(4)
+
+
+@pytest.fixture(scope="session")
+def m8():
+    return State(n_models=8)
+
+
+@pytest.fixture(scope="session")
+def tracker_graph():
+    return build_tracker_graph()

@@ -1,0 +1,127 @@
+"""DECface: the kiosk's output side.
+
+"The estimated position of multiple users drives the behavior of an
+animated graphical face, called DECface ... DECface exhibits natural gaze
+behavior during an interaction by periodically glancing in the direction
+of each of the current customers."  (§1)
+
+Two pieces:
+
+* :func:`gaze_controller` — the behaviour model: given tracked model
+  locations over time, produce the gaze-target sequence (round-robin
+  glances at current customers, dwelling on whoever moved most — real
+  logic, unit-tested, used by the live runtime as the T6 kernel);
+* :func:`build_kiosk_graph` — the tracker graph extended with the DECface
+  task (``T6``), closing the full kiosk loop.  T6's cost is linear in the
+  customer count with a tiny slope (face rendering is cheap next to
+  vision), so the optimal schedule simply pipelines it behind T5 —
+  verified in tests, and a good sanity check that adding cheap downstream
+  stages never disturbs the upstream schedule structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.tracker.graph import build_tracker_graph
+from repro.errors import ReproError
+from repro.graph.channel import ChannelSpec
+from repro.graph.cost import LinearCost
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.state import State
+
+__all__ = ["GazeState", "gaze_controller", "build_kiosk_graph"]
+
+
+class GazeState:
+    """Round-robin gaze behaviour with motion-priority interrupts.
+
+    The face glances at each tracked customer in turn (``glance_period``
+    frames per customer); a customer who moved more than
+    ``motion_priority`` pixels since their last observation grabs the gaze
+    immediately (people walking up get greeted).
+    """
+
+    def __init__(self, glance_period: int = 3, motion_priority: float = 10.0) -> None:
+        if glance_period < 1:
+            raise ReproError(f"glance_period must be >= 1, got {glance_period}")
+        self.glance_period = glance_period
+        self.motion_priority = motion_priority
+        self._current = 0
+        self._frames_on_current = 0
+        self._last_positions: dict[int, tuple[float, float]] = {}
+
+    def update(self, locations: Sequence[tuple[int, int, float]]) -> int:
+        """Feed one frame of model locations; returns the gaze target index.
+
+        Absent models (location ``(-1, -1, _)``) are skipped.
+        """
+        present = [
+            i for i, (r, c, _score) in enumerate(locations) if r >= 0 and c >= 0
+        ]
+        if not present:
+            self._frames_on_current = 0
+            return -1  # nobody to look at: idle/attract mode
+
+        # Motion interrupt: largest displacement above threshold wins.
+        best_move, mover = 0.0, None
+        for i in present:
+            r, c, _ = locations[i]
+            if i in self._last_positions:
+                lr, lc = self._last_positions[i]
+                move = abs(r - lr) + abs(c - lc)
+                if move > best_move:
+                    best_move, mover = move, i
+            self._last_positions[i] = (float(r), float(c))
+        if mover is not None and best_move >= self.motion_priority:
+            self._current = mover
+            self._frames_on_current = 1
+            return mover
+
+        # Otherwise round-robin among present customers.
+        if self._current not in present or self._frames_on_current >= self.glance_period:
+            later = [i for i in present if i > self._current]
+            self._current = later[0] if later else present[0]
+            self._frames_on_current = 0
+        self._frames_on_current += 1
+        return self._current
+
+
+def gaze_controller(glance_period: int = 3, motion_priority: float = 10.0):
+    """A ThreadedRuntime ``compute`` kernel wrapping :class:`GazeState`."""
+    gaze = GazeState(glance_period, motion_priority)
+
+    def compute(state: State, inputs: dict) -> dict:
+        target = gaze.update(inputs["model_locations"])
+        return {"gaze": {"target": target}}
+
+    return compute
+
+
+def build_kiosk_graph(
+    costs: Optional[dict] = None,
+    digitizer_period: Optional[float] = None,
+    name: str = "kiosk",
+) -> TaskGraph:
+    """The full kiosk: the Figure 2 tracker plus the DECface task (T6)."""
+    tracker = build_tracker_graph(
+        costs=costs, digitizer_period=digitizer_period, name=name
+    )
+    g = TaskGraph(name)
+    for ch in tracker.channels:
+        g.add_channel(ch)
+    g.add_channel(ChannelSpec("gaze", item_bytes=16))
+    for t in tracker.tasks:
+        g.add_task(t)
+    g.add_task(
+        Task(
+            "T6",
+            cost=LinearCost(base=0.008, slope=0.002, variable="n_models"),
+            inputs=["model_locations"],
+            outputs=["gaze"],
+            compute=gaze_controller(),
+        )
+    )
+    g.validate()
+    return g

@@ -1,0 +1,158 @@
+"""The kiosk environment: customers arriving and departing.
+
+"The processing requirements depend fundamentally on the number of
+customers and their rate of arrival and departure" (§1), and the state
+"will typically be from one to five and will change infrequently relative
+to the processing rate as people come and go" (§2.1).
+
+:class:`KioskEnvironment` is a seeded birth–death process: Poisson
+arrivals, exponential dwell times, occupancy clamped to a range.  It emits
+the piecewise-constant state trace the regime experiments replay, plus a
+raw per-frame observation stream (optionally noisy) to exercise the
+debouncing detector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+from repro.state import State
+
+__all__ = ["StateInterval", "KioskEnvironment"]
+
+
+@dataclass(frozen=True)
+class StateInterval:
+    """One piecewise-constant segment of the kiosk's state."""
+
+    start: float
+    end: float
+    n_people: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def state(self) -> State:
+        """The interval's application state."""
+        return State(n_models=self.n_people)
+
+
+class KioskEnvironment:
+    """Birth–death model of kiosk occupancy.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Mean customer arrivals per second.
+    mean_dwell:
+        Mean seconds a customer stays.
+    min_people / max_people:
+        Occupancy clamp; the tracker always has at least one model
+        (the kiosk idles showing attract content otherwise) and at most
+        ``max_people`` (additional faces are not tracked).
+    seed:
+        RNG seed — traces are fully reproducible.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float = 1.0 / 60.0,
+        mean_dwell: float = 120.0,
+        min_people: int = 1,
+        max_people: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if arrival_rate <= 0 or mean_dwell <= 0:
+            raise ReproError("arrival_rate and mean_dwell must be positive")
+        if not 1 <= min_people <= max_people:
+            raise ReproError(
+                f"need 1 <= min_people <= max_people, got {min_people}..{max_people}"
+            )
+        self.arrival_rate = arrival_rate
+        self.mean_dwell = mean_dwell
+        self.min_people = min_people
+        self.max_people = max_people
+        self.seed = seed
+
+    def trace(self, horizon: float, initial: Optional[int] = None) -> list[StateInterval]:
+        """The state trace over ``[0, horizon]`` as merged intervals."""
+        if horizon <= 0:
+            raise ReproError(f"horizon must be positive, got {horizon}")
+        rng = random.Random(self.seed)
+        n = initial if initial is not None else self.min_people
+        if not self.min_people <= n <= self.max_people:
+            raise ReproError(f"initial occupancy {n} outside clamp range")
+        t = 0.0
+        events: list[tuple[float, int]] = [(0.0, n)]
+        departures: list[float] = sorted(
+            rng.expovariate(1.0 / self.mean_dwell) for _ in range(n)
+        )
+        next_arrival = rng.expovariate(self.arrival_rate)
+        while True:
+            next_departure = departures[0] if departures else float("inf")
+            t = min(next_arrival, next_departure)
+            if t >= horizon:
+                break
+            if next_arrival <= next_departure:
+                if n < self.max_people:
+                    n += 1
+                    departures.append(t + rng.expovariate(1.0 / self.mean_dwell))
+                    departures.sort()
+                next_arrival = t + rng.expovariate(self.arrival_rate)
+            else:
+                departures.pop(0)
+                if n > self.min_people:
+                    n -= 1
+            events.append((t, n))
+        # Merge consecutive identical occupancies into intervals.
+        intervals: list[StateInterval] = []
+        for (t0, occ), (t1, _) in zip(events, events[1:] + [(horizon, -1)]):
+            if intervals and intervals[-1].n_people == occ:
+                last = intervals.pop()
+                intervals.append(StateInterval(last.start, t1, occ))
+            elif t1 > t0:
+                intervals.append(StateInterval(t0, t1, occ))
+        return intervals
+
+    def observations(
+        self,
+        horizon: float,
+        frame_period: float,
+        noise_prob: float = 0.0,
+        initial: Optional[int] = None,
+    ) -> Iterator[tuple[float, int]]:
+        """Per-frame raw occupancy observations, with optional miscounts.
+
+        With probability ``noise_prob`` an observation is off by one
+        (clamped) — the occlusion/false-detection noise the debouncing
+        detector exists to absorb.
+        """
+        if frame_period <= 0:
+            raise ReproError(f"frame_period must be positive, got {frame_period}")
+        if not 0.0 <= noise_prob < 1.0:
+            raise ReproError(f"noise_prob must be in [0,1), got {noise_prob}")
+        intervals = self.trace(horizon, initial)
+        rng = random.Random(f"{self.seed}-observations")
+        idx = 0
+        t = 0.0
+        while t < horizon and idx < len(intervals):
+            while idx < len(intervals) and intervals[idx].end <= t:
+                idx += 1
+            if idx >= len(intervals):
+                break
+            true_n = intervals[idx].n_people
+            obs = true_n
+            if noise_prob > 0 and rng.random() < noise_prob:
+                obs = true_n + (1 if rng.random() < 0.5 else -1)
+                obs = max(self.min_people, min(self.max_people, obs))
+            yield t, obs
+            t += frame_period
+
+    def change_count(self, horizon: float, initial: Optional[int] = None) -> int:
+        """Number of state changes in the trace (adjacent distinct intervals)."""
+        intervals = self.trace(horizon, initial)
+        return max(0, len(intervals) - 1)

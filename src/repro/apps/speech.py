@@ -1,0 +1,129 @@
+"""A third constrained-dynamic application: the kiosk's speech side.
+
+The paper's interface vision is bimodal: "vision and speech sensing
+provide user input while a graphical speaking agent provides the kiosk's
+output".  This module models the audio path:
+
+    microphone -> vad (voice activity detection)
+               -> features (per-speaker filterbank extraction)
+               -> decoder  (per-speaker recognition; the heavy task)
+               -> dialogue (intent handling, drives DECface)
+
+The state variable is ``n_speakers`` (how many people are talking at
+once).  Like the tracker's T4, the decoder is linear in the state and
+data-parallel *by speaker* — MP-style decomposition only, which makes its
+decomposition table degenerate in the opposite direction from the
+tracker's (nothing to split at one speaker; tests pin that contrast).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.channel import ChannelSpec
+from repro.graph.cost import ConstantCost, LinearCost
+from repro.graph.task import DataParallelSpec, Task
+from repro.graph.taskgraph import TaskGraph
+from repro.state import State, StateSpace
+
+__all__ = ["build_speech_graph", "speech_states", "SPEECH_COSTS"]
+
+#: Cost models (seconds per 100 ms audio window, loosely DSP-shaped):
+#: microphone/vad are state-independent; features and the decoder scale
+#: with simultaneous speakers, the decoder dominating.
+SPEECH_COSTS = {
+    "microphone": ConstantCost(0.001),
+    "vad": ConstantCost(0.015),
+    "features": LinearCost(base=0.010, slope=0.020, variable="n_speakers"),
+    "decoder": LinearCost(base=0.030, slope=0.400, variable="n_speakers"),
+    "dialogue": ConstantCost(0.012),
+}
+
+
+def speech_states(max_speakers: int = 4) -> StateSpace:
+    """States: 1..max_speakers simultaneous speakers."""
+    return StateSpace.range("n_speakers", 1, max_speakers)
+
+
+def _decoder_chunk_cost(state: State, n_chunks: int) -> float:
+    """One chunk decodes ``n_speakers / n_chunks`` speakers."""
+    n = state["n_speakers"]
+    per_speaker = 0.400
+    base = 0.030
+    return base / n_chunks + per_speaker * (n / n_chunks)
+
+
+def _decoder_chunks(state: State, workers: int) -> int:
+    """Speaker decomposition: at most one chunk per speaker."""
+    return min(state["n_speakers"], workers)
+
+
+def build_speech_graph(
+    max_speakers: int = 4,
+    window_bytes: int = 16_000 * 2 // 10,  # 100 ms of 16 kHz 16-bit audio
+    microphone_period: float | None = None,
+    name: str = "speech",
+) -> TaskGraph:
+    """Build the speech pipeline task graph."""
+    if max_speakers < 1:
+        raise GraphError(f"need >= 1 speaker, got {max_speakers}")
+    g = TaskGraph(name)
+    g.add_channel(ChannelSpec("audio", item_bytes=window_bytes))
+    g.add_channel(ChannelSpec("speech_segments", item_bytes=window_bytes))
+    g.add_channel(
+        ChannelSpec(
+            "feature_vectors",
+            item_bytes=lambda s: 13 * 8 * s["n_speakers"],  # 13 MFCCs/speaker
+        )
+    )
+    g.add_channel(ChannelSpec("transcripts", item_bytes=256))
+    g.add_channel(ChannelSpec("intents", item_bytes=64))
+    g.add_channel(ChannelSpec("acoustic_model", item_bytes=1 << 20, static=True))
+
+    g.add_task(
+        Task(
+            "microphone",
+            cost=SPEECH_COSTS["microphone"],
+            outputs=["audio"],
+            period=microphone_period,
+        )
+    )
+    g.add_task(
+        Task(
+            "vad",
+            cost=SPEECH_COSTS["vad"],
+            inputs=["audio"],
+            outputs=["speech_segments"],
+        )
+    )
+    g.add_task(
+        Task(
+            "features",
+            cost=SPEECH_COSTS["features"],
+            inputs=["speech_segments"],
+            outputs=["feature_vectors"],
+        )
+    )
+    g.add_task(
+        Task(
+            "decoder",
+            cost=SPEECH_COSTS["decoder"],
+            inputs=["feature_vectors", "acoustic_model"],
+            outputs=["transcripts"],
+            data_parallel=DataParallelSpec(
+                worker_counts=list(range(2, max_speakers + 1)) or [2],
+                chunk_cost=_decoder_chunk_cost,
+                chunks_for=_decoder_chunks,
+                per_chunk_overhead=0.002,
+            ),
+        )
+    )
+    g.add_task(
+        Task(
+            "dialogue",
+            cost=SPEECH_COSTS["dialogue"],
+            inputs=["transcripts"],
+            outputs=["intents"],
+        )
+    )
+    g.validate()
+    return g

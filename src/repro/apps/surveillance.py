@@ -1,0 +1,124 @@
+"""A second constrained-dynamic application: multi-camera surveillance.
+
+The paper's introduction claims the Smart Kiosk is "representative of a
+broad class of emerging applications in surveillance, autonomous agents,
+and intelligent vehicles and rooms".  This module backs that claim with a
+second task graph the same machinery schedules end to end:
+
+    cam_i (digitizer)  ->  motion_i (per-camera motion detection)
+                       ->  detect_i (per-camera object detection)
+    detect_* ----------->  fuse (cross-camera association)  ->  alarm
+
+The application state is the number of *active* cameras (cameras power
+down at night / on inactivity): per-camera chains drop in and out, and the
+fusion task's cost is linear in the active count — a different shape of
+constrained dynamism than the tracker's (here the *graph* is fixed at the
+maximum camera count, but inactive chains cost nearly nothing).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.channel import ChannelSpec
+from repro.graph.cost import CallableCost, ConstantCost, LinearCost
+from repro.graph.task import DataParallelSpec, Task
+from repro.graph.taskgraph import TaskGraph
+from repro.state import State, StateSpace
+
+__all__ = ["build_surveillance_graph", "SURVEILLANCE_STATES", "surveillance_states"]
+
+
+def surveillance_states(max_cameras: int = 4) -> StateSpace:
+    """States: 1..max_cameras active cameras."""
+    return StateSpace.range("n_cameras", 1, max_cameras)
+
+
+SURVEILLANCE_STATES = surveillance_states(4)
+
+
+def _active_cost(camera: int, active_cost: float, idle_cost: float = 0.001):
+    """Cost model: full price while the camera is active, epsilon when idle."""
+
+    def cost(state: State) -> float:
+        n_active = state["n_cameras"]
+        return active_cost if camera < n_active else idle_cost
+
+    return CallableCost(cost, label=f"cam{camera}")
+
+
+def build_surveillance_graph(
+    max_cameras: int = 4,
+    frame_pixels: int = 120 * 160,
+    digitizer_period: float | None = None,
+    name: str = "surveillance",
+) -> TaskGraph:
+    """Build the surveillance graph for up to ``max_cameras`` cameras."""
+    if max_cameras < 1:
+        raise GraphError(f"need >= 1 camera, got {max_cameras}")
+    g = TaskGraph(name)
+    detect_channels = []
+    for c in range(max_cameras):
+        g.add_channel(ChannelSpec(f"cam{c}_frames", item_bytes=frame_pixels * 3))
+        g.add_channel(ChannelSpec(f"cam{c}_motion", item_bytes=frame_pixels))
+        g.add_channel(ChannelSpec(f"cam{c}_objects", item_bytes=256))
+        detect_channels.append(f"cam{c}_objects")
+        g.add_task(
+            Task(
+                f"cam{c}",
+                cost=_active_cost(c, 0.004),
+                outputs=[f"cam{c}_frames"],
+                period=digitizer_period,
+            )
+        )
+        g.add_task(
+            Task(
+                f"motion{c}",
+                cost=_active_cost(c, 0.060),
+                inputs=[f"cam{c}_frames"],
+                outputs=[f"cam{c}_motion"],
+            )
+        )
+        g.add_task(
+            Task(
+                f"detect{c}",
+                cost=_active_cost(c, 0.450),
+                inputs=[f"cam{c}_motion"],
+                outputs=[f"cam{c}_objects"],
+                data_parallel=DataParallelSpec(
+                    worker_counts=(2, 4),
+                    per_chunk_overhead=0.008,
+                    chunk_cost=_make_detect_chunk_cost(c),
+                ),
+            )
+        )
+    g.add_channel(ChannelSpec("tracks", item_bytes=512))
+    g.add_channel(ChannelSpec("alarms", item_bytes=64))
+    g.add_task(
+        Task(
+            "fuse",
+            cost=LinearCost(base=0.020, slope=0.090, variable="n_cameras"),
+            inputs=detect_channels,
+            outputs=["tracks"],
+        )
+    )
+    g.add_task(
+        Task(
+            "alarm",
+            cost=ConstantCost(0.015),
+            inputs=["tracks"],
+            outputs=["alarms"],
+        )
+    )
+    g.validate()
+    return g
+
+
+def _make_detect_chunk_cost(camera: int):
+    """Per-chunk cost for a detect task split ``n_chunks`` ways."""
+
+    def chunk_cost(state: State, n_chunks: int) -> float:
+        n_active = state["n_cameras"]
+        serial = 0.450 if camera < n_active else 0.001
+        return serial / n_chunks
+
+    return chunk_cost

@@ -1,0 +1,40 @@
+"""The Smart Kiosk color tracker (Figure 2).
+
+* :mod:`repro.apps.tracker.kernels` — real NumPy kernels for the five
+  tasks (digitize, change detection, histogram, target detection, peak
+  detection), in both plain-function and ThreadedRuntime ``compute`` form.
+* :mod:`repro.apps.tracker.graph` — the calibrated task graph: paper cost
+  models (Table 1 calibration for T4), channel sizes, the per-state
+  decomposition planner wired into T4's data-parallel spec, and kernels
+  attached for live execution.
+* :mod:`repro.apps.tracker.calibrate` — measure the real kernels and fit
+  cost models from them (the "execution times for each operation" input
+  of Figure 6, produced the way the authors produced theirs).
+"""
+
+from repro.apps.tracker.graph import (
+    build_tracker_graph,
+    tracker_planner,
+    PAPER_COSTS,
+    TRACKER_STATES,
+)
+from repro.apps.tracker.kernels import (
+    change_detection,
+    frame_histogram,
+    target_detection,
+    peak_detection,
+)
+from repro.apps.tracker.calibrate import calibrate_kernels, KernelCalibration
+
+__all__ = [
+    "build_tracker_graph",
+    "tracker_planner",
+    "PAPER_COSTS",
+    "TRACKER_STATES",
+    "change_detection",
+    "frame_histogram",
+    "target_detection",
+    "peak_detection",
+    "calibrate_kernels",
+    "KernelCalibration",
+]

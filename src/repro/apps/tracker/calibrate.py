@@ -1,0 +1,113 @@
+"""Kernel calibration: measure the real kernels, fit the cost models.
+
+Figure 6's inputs include "execution times for each operation including
+its data parallel variants".  The paper's authors measured their C kernels
+on the AlphaServers; we measure our NumPy kernels on the host and fit the
+same *shapes* the paper asserts (T2/T3 constant, T4/T5 linear in the model
+count).  The fitted models can replace :data:`~repro.apps.tracker.graph.PAPER_COSTS`
+wholesale, giving a tracker graph calibrated to the machine actually
+running the code.
+
+Wall-clock numbers depend on the host, so tests assert *structure*
+(linearity, positive slopes, T4 slope >> T5 slope), never absolute values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.colormodel import color_histogram
+from repro.apps.tracker import kernels
+from repro.apps.video import VideoSource
+from repro.errors import ReproError
+from repro.graph.cost import ConstantCost, CostFn, LinearCost
+
+__all__ = ["KernelCalibration", "calibrate_kernels"]
+
+
+def _time_call(fn, repeats: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Fitted cost models for all five tracker tasks."""
+
+    t1: CostFn
+    t2: CostFn
+    t3: CostFn
+    t4: CostFn
+    t5: CostFn
+    measurements: dict
+
+    def as_costs(self) -> dict[str, CostFn]:
+        """A ``costs`` dict for :func:`~repro.apps.tracker.graph.build_tracker_graph`."""
+        return {"T1": self.t1, "T2": self.t2, "T3": self.t3, "T4": self.t4, "T5": self.t5}
+
+
+def _fit_line(xs: list[int], ys: list[float]) -> tuple[float, float]:
+    """Least-squares (base, slope) with both clamped non-negative."""
+    slope, base = np.polyfit(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float), 1)
+    return max(float(base), 0.0), max(float(slope), 0.0)
+
+
+def calibrate_kernels(
+    frame_shape: tuple[int, int] = (120, 160),
+    model_counts: tuple[int, ...] = (1, 2, 4, 8),
+    repeats: int = 3,
+    seed: int = 0,
+) -> KernelCalibration:
+    """Measure the real kernels and fit T1..T5 cost models."""
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    if len(model_counts) < 2:
+        raise ReproError("need at least two model counts to fit a line")
+    h, w = frame_shape
+    video = VideoSource(n_targets=max(model_counts), height=h, width=w, seed=seed)
+    frame = video.frame(0)
+    prev = video.frame(1)
+    measurements: dict = {"frame_shape": frame_shape, "model_counts": model_counts}
+
+    t1_time = _time_call(lambda: video.frame(2), repeats)
+    t2_time = _time_call(lambda: kernels.change_detection(frame, prev), repeats)
+    t3_time = _time_call(lambda: kernels.frame_histogram(frame), repeats)
+    measurements.update(t1=t1_time, t2=t2_time, t3=t3_time)
+
+    frame_hist = kernels.frame_histogram(frame)
+    mask = kernels.change_detection(frame, prev)
+    all_models = [color_histogram(video.model_patch(i)) for i in range(max(model_counts))]
+
+    t4_times, t5_times = [], []
+    for m in model_counts:
+        models = all_models[:m]
+        t4_times.append(
+            _time_call(
+                lambda: kernels.target_detection(frame, models, frame_hist, mask),
+                repeats,
+            )
+        )
+        planes = kernels.target_detection(frame, models, frame_hist, mask)
+        t5_times.append(_time_call(lambda: kernels.peak_detection(planes), repeats))
+    measurements.update(t4=dict(zip(model_counts, t4_times)),
+                        t5=dict(zip(model_counts, t5_times)))
+
+    t4_base, t4_slope = _fit_line(list(model_counts), t4_times)
+    t5_base, t5_slope = _fit_line(list(model_counts), t5_times)
+    return KernelCalibration(
+        t1=ConstantCost(t1_time),
+        t2=ConstantCost(t2_time),
+        t3=ConstantCost(t3_time),
+        t4=LinearCost(t4_base, t4_slope, "n_models"),
+        t5=LinearCost(t5_base, t5_slope, "n_models"),
+        measurements=measurements,
+    )

@@ -1,0 +1,198 @@
+"""Real NumPy kernels for the five tracker tasks.
+
+Plain functions first (unit-testable in isolation), then the
+``compute(state, inputs) -> outputs`` adapters the
+:class:`~repro.runtime.threaded.ThreadedRuntime` calls.  Channel names
+match the Figure 2 graph built in :mod:`repro.apps.tracker.graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.apps.colormodel import back_projection, color_histogram
+from repro.apps.video import VideoSource
+from repro.decomp.strategies import WorkChunk
+from repro.errors import ReproError
+from repro.state import State
+
+__all__ = [
+    "change_detection",
+    "frame_histogram",
+    "target_detection",
+    "target_detection_chunk",
+    "peak_detection",
+    "make_digitizer_kernel",
+    "make_change_detection_kernel",
+    "make_histogram_kernel",
+    "make_target_detection_kernel",
+    "make_peak_detection_kernel",
+]
+
+_BINS = 8
+
+
+# ---------------------------------------------------------------------------
+# Plain kernels
+# ---------------------------------------------------------------------------
+
+
+def change_detection(
+    frame: np.ndarray, previous: Optional[np.ndarray], threshold: int = 40
+) -> np.ndarray:
+    """T2: motion mask by thresholded frame differencing.
+
+    Returns a boolean (H, W) mask; with no previous frame, everything is
+    considered in motion (first-frame bootstrap).
+    """
+    if previous is None:
+        return np.ones(frame.shape[:2], dtype=bool)
+    if previous.shape != frame.shape:
+        raise ReproError(
+            f"frame shapes differ: {previous.shape} vs {frame.shape}"
+        )
+    diff = np.abs(frame.astype(np.int16) - previous.astype(np.int16)).sum(axis=2)
+    return diff > threshold
+
+
+def frame_histogram(frame: np.ndarray, bins: int = _BINS) -> np.ndarray:
+    """T3: the whole-frame color histogram used as back-projection prior."""
+    return color_histogram(frame, bins)
+
+
+def target_detection(
+    frame: np.ndarray,
+    model_histograms: Sequence[np.ndarray],
+    frame_hist: np.ndarray,
+    motion_mask: Optional[np.ndarray] = None,
+    bins: int = _BINS,
+) -> np.ndarray:
+    """T4: back-projection planes, one per model — shape (M, H, W).
+
+    The motion mask zeroes likelihoods outside moving regions ("vision
+    techniques to track and identify people based on their motion and
+    clothing color").
+    """
+    if not model_histograms:
+        raise ReproError("target_detection needs at least one model")
+    planes = np.stack(
+        [back_projection(frame, mh, frame_hist, bins) for mh in model_histograms]
+    )
+    if motion_mask is not None:
+        planes *= motion_mask[None, :, :]
+    return planes
+
+
+def target_detection_chunk(
+    frame: np.ndarray,
+    chunk: WorkChunk,
+    model_histograms: Sequence[np.ndarray],
+    frame_hist: np.ndarray,
+    motion_mask: Optional[np.ndarray] = None,
+    bins: int = _BINS,
+) -> np.ndarray:
+    """The parameterized worker version of T4: one (FP, MP) chunk.
+
+    Scans only ``chunk.row_range`` of the frame for ``chunk.model_indices``;
+    returns (m_chunk, rows, W) planes.  Reassembling all chunks of a
+    decomposition reproduces :func:`target_detection` exactly — the
+    Figure 9 requirement that the subgraph "exactly duplicates the original
+    task's behavior".
+    """
+    lo, hi = chunk.row_range
+    sub = frame[lo:hi]
+    sub_mask = motion_mask[lo:hi] if motion_mask is not None else None
+    models = [model_histograms[i] for i in chunk.model_indices]
+    return target_detection(sub, models, frame_hist, sub_mask, bins)
+
+
+def peak_detection(
+    planes: np.ndarray, min_score: float = 0.0
+) -> list[tuple[int, int, float]]:
+    """T5: per-model location = argmax of its back-projection plane.
+
+    Returns ``[(row, col, score), ...]`` per model; models whose best
+    score is below ``min_score`` report ``(-1, -1, score)`` (not present).
+    """
+    if planes.ndim != 3:
+        raise ReproError(f"planes must be (M, H, W), got shape {planes.shape}")
+    out = []
+    for m in range(planes.shape[0]):
+        plane = planes[m]
+        flat = int(np.argmax(plane))
+        r, c = divmod(flat, plane.shape[1])
+        score = float(plane[r, c])
+        if score < min_score:
+            out.append((-1, -1, score))
+        else:
+            out.append((r, c, score))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# ThreadedRuntime compute adapters (channel names of the Figure 2 graph)
+# ---------------------------------------------------------------------------
+
+
+def make_digitizer_kernel(video: VideoSource):
+    """T1 compute: emit the next synthetic frame."""
+    counter = {"ts": 0}
+
+    def compute(state: State, inputs: dict) -> dict:
+        ts = counter["ts"]
+        counter["ts"] += 1
+        return {"frame": video.frame(ts)}
+
+    return compute
+
+
+def make_change_detection_kernel(threshold: int = 40):
+    """T2 compute: motion mask vs the previously seen frame."""
+    memory: dict[str, Optional[np.ndarray]] = {"prev": None}
+
+    def compute(state: State, inputs: dict) -> dict:
+        frame = inputs["frame"]
+        mask = change_detection(frame, memory["prev"], threshold)
+        memory["prev"] = frame
+        return {"motion_mask": mask}
+
+    return compute
+
+
+def make_histogram_kernel(bins: int = _BINS):
+    """T3 compute: whole-frame histogram."""
+
+    def compute(state: State, inputs: dict) -> dict:
+        return {"histogram": frame_histogram(inputs["frame"], bins)}
+
+    return compute
+
+
+def make_target_detection_kernel(bins: int = _BINS):
+    """T4 compute (serial): back-projection planes for every model.
+
+    The static ``color_model`` channel supplies the model histograms.
+    """
+
+    def compute(state: State, inputs: dict) -> dict:
+        planes = target_detection(
+            inputs["frame"],
+            inputs["color_model"],
+            inputs["histogram"],
+            inputs["motion_mask"],
+            bins,
+        )
+        return {"back_projections": planes}
+
+    return compute
+
+
+def make_peak_detection_kernel(min_score: float = 0.0):
+    """T5 compute: model locations from the back-projection planes."""
+
+    def compute(state: State, inputs: dict) -> dict:
+        return {"model_locations": peak_detection(inputs["back_projections"], min_score)}
+
+    return compute

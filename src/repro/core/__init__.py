@@ -1,0 +1,79 @@
+"""The paper's contribution: optimal scheduling under constrained dynamism.
+
+* :mod:`repro.core.schedule` — schedule data model: placements, single
+  iteration schedules, and pipelined multi-iteration schedules.
+* :mod:`repro.core.enumerate` — the Figure 6 algorithm's middle step:
+  exhaustive (branch-and-bound) enumeration of legal single-iteration
+  schedules over task orders, data-parallel variants and processor
+  placements; returns the minimal latency L and the set S of schedules
+  achieving it.
+* :mod:`repro.core.pipeline` — software pipelining: the naive
+  one-iteration-per-processor pipeline of Figure 4(b) and the minimal
+  initiation-interval computation that turns a single-iteration schedule
+  into the multi-iteration schedule M.
+* :mod:`repro.core.optimal` — the full Figure 6 algorithm, front to back.
+* :mod:`repro.core.regime` — on-line state detection with debouncing.
+* :mod:`repro.core.table` — the per-state schedule table and the switcher
+  that reacts to regime changes.
+* :mod:`repro.core.transition` — schedule-transition policies and costs.
+
+Extensions beyond the paper's core (each motivated by its text):
+
+* :mod:`repro.core.replay` — re-time a schedule structure under a
+  different state (what a stale schedule actually delivers).
+* :mod:`repro.core.serialize` — persist schedules/tables as JSON (the
+  off-line artifact that "will be operating for months").
+* :mod:`repro.core.interpolate` — §2.1's interpolation alternative, for
+  large/unknown state spaces.
+* :mod:`repro.core.frontier` — the full latency/throughput trade-off
+  curve (the related work's [13] question, answered with Figure 6
+  machinery).
+* :mod:`repro.core.sensitivity` — robustness of schedules to error in the
+  measured execution times Figure 6 consumes.
+"""
+
+from repro.core.schedule import Placement, IterationSchedule, PipelinedSchedule
+from repro.core.enumerate import enumerate_schedules, EnumerationResult
+from repro.core.pipeline import (
+    naive_pipeline,
+    min_initiation_interval,
+    best_pipelined,
+)
+from repro.core.optimal import OptimalScheduler, ScheduleSolution
+from repro.core.regime import RegimeDetector, RegimeChange
+from repro.core.table import ScheduleTable, RegimeSwitcher
+from repro.core.transition import TransitionPolicy, DrainTransition, ImmediateTransition
+from repro.core.replay import replay_with_state, replay_pipelined
+from repro.core.frontier import FrontierPoint, latency_throughput_frontier
+from repro.core.sensitivity import sensitivity_profile, SensitivityProfile
+from repro.core.interpolate import InterpolatingTable
+from repro.core.serialize import table_to_json, table_from_json
+
+__all__ = [
+    "replay_with_state",
+    "replay_pipelined",
+    "FrontierPoint",
+    "latency_throughput_frontier",
+    "sensitivity_profile",
+    "SensitivityProfile",
+    "InterpolatingTable",
+    "table_to_json",
+    "table_from_json",
+    "Placement",
+    "IterationSchedule",
+    "PipelinedSchedule",
+    "enumerate_schedules",
+    "EnumerationResult",
+    "naive_pipeline",
+    "min_initiation_interval",
+    "best_pipelined",
+    "OptimalScheduler",
+    "ScheduleSolution",
+    "RegimeDetector",
+    "RegimeChange",
+    "ScheduleTable",
+    "RegimeSwitcher",
+    "TransitionPolicy",
+    "DrainTransition",
+    "ImmediateTransition",
+]

@@ -1,0 +1,301 @@
+"""Exhaustive enumeration of legal single-iteration schedules (Figure 6).
+
+The paper: "the algorithm is not a heuristic... Our applications have a
+very small number of tasks.  Even if we include the various data parallel
+options for any given task, we still have a manageable number of options.
+Since the resulting schedule will be operating for months, we can afford to
+evaluate all legal schedules and choose the best one."
+
+This module implements that evaluation as a deterministic branch-and-bound
+over
+
+* all precedence-compatible task orders (i.e. every way of picking the next
+  ready task),
+* every data-parallel variant of every task, and
+* every processor placement, canonicalized by two safe symmetry reductions:
+  within a node the ``w`` earliest-free processors are chosen (an exchange
+  argument shows this never loses an optimal active schedule), and nodes in
+  identical resource states are interchangeable so only one representative
+  is branched on.
+
+Schedules are *active*: each task starts as early as its resources and its
+predecessors (plus communication delay) allow.  The search prunes with a
+critical-path lower bound and returns the exact minimal latency **L**
+together with the set **S** of distinct optimal schedules (capped at
+``max_solutions`` for memory; the total count is still reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InfeasibleSchedule, ScheduleError
+from repro.core.schedule import IterationSchedule, Placement
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommModel
+from repro.state import State
+
+__all__ = ["EnumerationResult", "enumerate_schedules"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of :func:`enumerate_schedules`.
+
+    Attributes
+    ----------
+    latency:
+        The minimal single-iteration latency L.
+    schedules:
+        Distinct optimal :class:`IterationSchedule` objects (the set S),
+        capped at the requested maximum.
+    optimal_count:
+        Total number of distinct optimal schedules found (>= len(schedules)).
+    explored:
+        Branch-and-bound nodes visited — a cost diagnostic.
+    state:
+        The application state the enumeration was run for.
+    """
+
+    latency: float
+    schedules: list[IterationSchedule]
+    optimal_count: int
+    explored: int
+    state: State
+
+    @property
+    def best(self) -> IterationSchedule:
+        """A canonical representative of S (first in deterministic order)."""
+        if not self.schedules:
+            raise InfeasibleSchedule("enumeration produced no schedule")
+        return self.schedules[0]
+
+
+def enumerate_schedules(
+    graph: TaskGraph,
+    state: State,
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    max_workers: Optional[int] = None,
+    max_solutions: int = 64,
+    node_limit: int = 2_000_000,
+    tolerance: float = 1e-9,
+    latency_slack: float = 0.0,
+) -> EnumerationResult:
+    """Compute L and S for one application state.
+
+    Parameters
+    ----------
+    graph:
+        The validated macro-dataflow graph.
+    state:
+        Application state (fixes every cost).
+    cluster:
+        Nodes x processors (Figure 6's platform input).
+    comm:
+        Communication cost model; ``None`` means free communication.
+    max_workers:
+        Cap on data-parallel width (defaults to processors per node —
+        data-parallel variants are placed within one node, where the
+        splitter/worker channels live in shared memory).
+    max_solutions:
+        Cap on how many members of S are materialized.
+    node_limit:
+        Safety valve on branch-and-bound nodes; exceeding it raises
+        :class:`~repro.errors.ScheduleError` rather than silently
+        truncating the search.
+    tolerance:
+        Latency equality tolerance for membership in S.
+    latency_slack:
+        Relative slack for set membership: schedules with latency up to
+        ``(1 + latency_slack) * L`` are collected (0.0 = exactly the
+        paper's S).  Used by the latency/throughput frontier
+        (:mod:`repro.core.frontier`) to trade latency for initiation
+        interval the way [13] (Subhlok & Vondran) explores.
+    """
+    graph.validate()
+    order_names = graph.topo_order()
+    if not order_names:
+        return EnumerationResult(0.0, [IterationSchedule([], name="empty")], 1, 0, state)
+
+    P = cluster.total_processors
+    dp_cap = max_workers if max_workers is not None else cluster.procs_per_node
+
+    # Pre-compute variants and the remaining-critical-path lower bound.
+    # Durations in the bound are divided by the fastest node speed so the
+    # bound stays admissible on heterogeneous clusters.
+    variants = {
+        name: graph.task(name).variants(state, max_workers=dp_cap)
+        for name in order_names
+    }
+    fastest = max(cluster.node_speeds)
+    best_dur = {
+        name: min(v.duration for v in vs) / fastest for name, vs in variants.items()
+    }
+    succs = {name: graph.successors(name) for name in order_names}
+    preds = {name: graph.predecessors(name) for name in order_names}
+    rem_cp: dict[str, float] = {}
+    for name in reversed(order_names):
+        tail = max((rem_cp[s] for s in succs[name]), default=0.0)
+        rem_cp[name] = best_dur[name] + tail
+
+    # Communication helper (primary-processor to primary-processor).
+    if comm is None:
+        comm = CommModel.free(cluster)
+    edge_bytes: dict[tuple[str, str], int] = {}
+    for name in order_names:
+        for p in preds[name]:
+            edge_bytes[(p, name)] = graph.comm_bytes(p, name, state)
+
+    # Search state.
+    free = [0.0] * P
+    placed: dict[str, Placement] = {}
+    n_unscheduled_preds = {name: len(preds[name]) for name in order_names}
+    ready = sorted(n for n in order_names if n_unscheduled_preds[n] == 0)
+
+    best_latency = [float("inf")]
+    solutions: dict[tuple, tuple[float, IterationSchedule]] = {}
+    optimal_count = [0]
+    explored = [0]
+
+    node_procs = {n: [p.index for p in cluster.node_processors(n)] for n in range(cluster.nodes)}
+    node_speed = {n: cluster.node_speeds[n] for n in range(cluster.nodes)}
+
+    def admit_threshold() -> float:
+        """Latency below which a finished schedule joins the solution set."""
+        return best_latency[0] * (1.0 + latency_slack) + tolerance
+
+    def record_solution() -> None:
+        lat = max(p.end for p in placed.values())
+        if lat < best_latency[0] - tolerance:
+            best_latency[0] = lat
+            # Tightened threshold may evict previously admitted schedules.
+            cutoff = admit_threshold()
+            for key in [k for k, (l, _) in solutions.items() if l > cutoff]:
+                del solutions[key]
+            optimal_count[0] = sum(
+                1 for l, _ in solutions.values() if l <= best_latency[0] + tolerance
+            )
+        if lat <= admit_threshold():
+            sched = IterationSchedule(placed.values(), name=f"opt[{len(solutions)}]")
+            key = sched.canonical_key()
+            if key not in solutions:
+                if lat <= best_latency[0] + tolerance:
+                    optimal_count[0] += 1
+                if len(solutions) < max_solutions:
+                    solutions[key] = (lat, sched)
+
+    def lower_bound(current_max_end: float) -> float:
+        lb = current_max_end
+        for name in order_names:
+            if name in placed:
+                continue
+            if n_unscheduled_preds[name] == 0:
+                est = max((placed[p].end for p in preds[name]), default=0.0)
+                lb = max(lb, est + rem_cp[name])
+        return lb
+
+    def candidate_nodes() -> list[int]:
+        """One representative node per identical (free-times, speed) class."""
+        seen: set[tuple] = set()
+        out: list[int] = []
+        for n in range(cluster.nodes):
+            key = (tuple(sorted(free[p] for p in node_procs[n])), node_speed[n])
+            if key not in seen:
+                seen.add(key)
+                out.append(n)
+        return out
+
+    def place_and_recurse(name: str, ready_rest: list[str]) -> None:
+        data_ready_base = [(p, placed[p].end, placed[p].primary) for p in preds[name]]
+        pred_primaries = {pprimary for _, _, pprimary in data_ready_base}
+        for var in variants[name]:
+            w = var.workers
+            if w > cluster.procs_per_node:
+                continue
+            for node in candidate_nodes():
+                procs_here = sorted(node_procs[node], key=lambda p: (free[p], p))
+                if w > len(procs_here):
+                    continue
+                # Candidate processor sets for this node: the w earliest-free
+                # processors (optimal when communication is tier-uniform),
+                # plus — for serial placements — each predecessor's own
+                # processor, where the transfer is free (the same-proc tier
+                # can beat earlier availability under expensive intra-node
+                # communication).
+                choices = [tuple(procs_here[:w])]
+                if w == 1:
+                    for pp in sorted(pred_primaries):
+                        if pp in node_procs[node] and (pp,) not in choices:
+                            choices.append((pp,))
+                for chosen in choices:
+                    _try_placement(name, var, node, chosen, data_ready_base,
+                                   ready_rest)
+
+    def _try_placement(name, var, node, chosen, data_ready_base, ready_rest):
+        primary = chosen[0]
+        dur = var.duration / node_speed[node]
+        est = max((free[p] for p in chosen), default=0.0)
+        for pred, pend, pprimary in data_ready_base:
+            delay = comm.transfer_time(edge_bytes[(pred, name)], pprimary, primary)
+            est = max(est, pend + delay)
+        end = est + dur
+        # Lower bound: this task's own remaining chain from est.
+        if est + rem_cp[name] > admit_threshold():
+            return
+        placement = Placement(name, chosen, est, dur, variant=var.label)
+        saved = [free[p] for p in chosen]
+        for p in chosen:
+            free[p] = end
+        placed[name] = placement
+        newly_ready = []
+        for s in succs[name]:
+            n_unscheduled_preds[s] -= 1
+            if n_unscheduled_preds[s] == 0:
+                newly_ready.append(s)
+        next_ready = sorted(ready_rest + newly_ready)
+        recurse(next_ready)
+        for s in succs[name]:
+            n_unscheduled_preds[s] += 1
+        del placed[name]
+        for p, t in zip(chosen, saved):
+            free[p] = t
+
+    def recurse(ready_now: list[str]) -> None:
+        explored[0] += 1
+        if explored[0] > node_limit:
+            raise ScheduleError(
+                f"enumeration exceeded node_limit={node_limit}; "
+                "reduce variants or raise the limit"
+            )
+        if not ready_now:
+            if len(placed) == len(order_names):
+                record_solution()
+            return
+        current_max = max((pl.end for pl in placed.values()), default=0.0)
+        if lower_bound(current_max) > admit_threshold():
+            return
+        for i, name in enumerate(ready_now):
+            place_and_recurse(name, ready_now[:i] + ready_now[i + 1 :])
+
+    recurse(ready)
+    if not solutions:
+        raise InfeasibleSchedule(
+            f"no legal schedule for graph {graph.name!r} on {cluster!r}"
+        )
+    ranked = sorted(solutions.values(), key=lambda pair: (pair[0], pair[1].canonical_key()))
+    ordered = [
+        IterationSchedule(s.placements, name=f"opt[{i}]")
+        for i, (_lat, s) in enumerate(ranked)
+    ]
+    return EnumerationResult(
+        latency=best_latency[0],
+        schedules=ordered,
+        optimal_count=optimal_count[0],
+        explored=explored[0],
+        state=state,
+    )

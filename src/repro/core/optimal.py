@@ -1,0 +1,138 @@
+"""The full Figure 6 algorithm.
+
+    Compute the minimal latency, L, for a single iteration
+    Compute the set, S, of all single iteration schedules that exhibit
+        latency, L
+    Compute the multi-iteration schedule, M, created from multiple
+        instances of a schedule from S
+
+Step 1 and 2 are :func:`repro.core.enumerate.enumerate_schedules`; step 3
+picks, among the members of S, the iteration schedule whose pipelined form
+has the smallest initiation interval — i.e. maximal throughput subject to
+minimal latency, the paper's stated priority ("without sacrificing latency,
+of course we would like to attain maximum possible throughput").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.enumerate import EnumerationResult, enumerate_schedules
+from repro.core.pipeline import best_pipelined
+from repro.core.schedule import IterationSchedule, PipelinedSchedule
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommModel
+from repro.state import State
+
+__all__ = ["ScheduleSolution", "OptimalScheduler"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class ScheduleSolution:
+    """An optimal schedule for one application state.
+
+    Attributes
+    ----------
+    state:
+        The application state this solution is optimal for.
+    iteration:
+        The chosen member of S (minimal latency L).
+    pipelined:
+        The multi-iteration schedule M built from it.
+    alternatives:
+        Total count of distinct optimal iteration schedules (|S|).
+    explored:
+        Branch-and-bound nodes visited while computing S.
+    """
+
+    state: State
+    iteration: IterationSchedule
+    pipelined: PipelinedSchedule
+    alternatives: int
+    explored: int
+
+    @property
+    def latency(self) -> float:
+        """Minimal single-iteration latency L (seconds)."""
+        return self.iteration.latency
+
+    @property
+    def period(self) -> float:
+        """Initiation interval of M (seconds)."""
+        return self.pipelined.period
+
+    @property
+    def throughput(self) -> float:
+        """Iterations completed per second under M."""
+        return self.pipelined.throughput
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.state}: L={self.latency:.4g}s, II={self.period:.4g}s "
+            f"(throughput {self.throughput:.4g}/s), |S|={self.alternatives}"
+        )
+
+
+class OptimalScheduler:
+    """Off-line optimal scheduler for one cluster configuration.
+
+    >>> from repro.graph.builders import chain_graph
+    >>> from repro.sim.cluster import SINGLE_NODE_SMP
+    >>> from repro.state import State
+    >>> sched = OptimalScheduler(SINGLE_NODE_SMP(2))
+    >>> sol = sched.solve(chain_graph([1.0, 1.0]), State(n_models=1))
+    >>> sol.latency
+    2.0
+    >>> sol.period  # two processors, two seconds of work per iteration
+    1.0
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        comm: Optional[CommModel] = None,
+        max_workers: Optional[int] = None,
+        max_solutions: int = 64,
+        node_limit: int = 2_000_000,
+    ) -> None:
+        self.cluster = cluster
+        self.comm = comm
+        self.max_workers = max_workers
+        self.max_solutions = max_solutions
+        self.node_limit = node_limit
+
+    def enumerate(self, graph: TaskGraph, state: State) -> EnumerationResult:
+        """Steps 1-2 of Figure 6: minimal latency L and the set S."""
+        return enumerate_schedules(
+            graph,
+            state,
+            self.cluster,
+            comm=self.comm,
+            max_workers=self.max_workers,
+            max_solutions=self.max_solutions,
+            node_limit=self.node_limit,
+        )
+
+    def solve(self, graph: TaskGraph, state: State) -> ScheduleSolution:
+        """All three steps: the throughput-best pipelining of a member of S."""
+        result = self.enumerate(graph, state)
+        best: Optional[PipelinedSchedule] = None
+        best_iter: Optional[IterationSchedule] = None
+        for candidate in result.schedules:
+            piped = best_pipelined(candidate, self.cluster, name=f"M[{candidate.name}]")
+            if best is None or piped.period < best.period - _EPS:
+                best = piped
+                best_iter = candidate
+        assert best is not None and best_iter is not None
+        return ScheduleSolution(
+            state=state,
+            iteration=best_iter,
+            pipelined=best,
+            alternatives=result.optimal_count,
+            explored=result.explored,
+        )

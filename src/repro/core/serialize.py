@@ -1,0 +1,171 @@
+"""Persistence for schedules and schedule tables.
+
+The paper's workflow separates an off-line phase ("we pre-compute the
+optimal schedule for each of the states"; the result "will be operating
+for months") from the on-line switcher.  That separation needs an
+artifact: this module serializes iteration schedules, pipelined schedules
+and whole per-state tables to JSON, so the expensive enumeration runs once
+and ships with the application.
+
+Round-tripping preserves everything the runtime needs (placements,
+variants, periods, shifts, per-state latencies); re-solving is never
+required to *execute*.  Loading re-validates shapes and raises
+:class:`~repro.errors.ScheduleError` on malformed input rather than
+producing a half-built schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ScheduleError
+from repro.core.optimal import ScheduleSolution
+from repro.core.schedule import IterationSchedule, PipelinedSchedule, Placement
+from repro.core.table import ScheduleTable
+from repro.state import State
+
+__all__ = [
+    "iteration_to_dict",
+    "iteration_from_dict",
+    "pipelined_to_dict",
+    "pipelined_from_dict",
+    "solution_to_dict",
+    "solution_from_dict",
+    "table_to_json",
+    "table_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _require(data: dict, key: str, context: str) -> Any:
+    try:
+        return data[key]
+    except (KeyError, TypeError):
+        raise ScheduleError(f"malformed {context}: missing {key!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Iteration schedules
+# ---------------------------------------------------------------------------
+
+
+def iteration_to_dict(schedule: IterationSchedule) -> dict:
+    """JSON-safe representation of a single-iteration schedule."""
+    return {
+        "name": schedule.name,
+        "placements": [
+            {
+                "task": p.task,
+                "procs": list(p.procs),
+                "start": p.start,
+                "duration": p.duration,
+                "variant": p.variant,
+            }
+            for p in schedule.placements
+        ],
+    }
+
+
+def iteration_from_dict(data: dict) -> IterationSchedule:
+    """Rebuild an :class:`IterationSchedule` (validates placement shape)."""
+    placements = []
+    for raw in _require(data, "placements", "iteration schedule"):
+        placements.append(
+            Placement(
+                task=_require(raw, "task", "placement"),
+                procs=tuple(_require(raw, "procs", "placement")),
+                start=float(_require(raw, "start", "placement")),
+                duration=float(_require(raw, "duration", "placement")),
+                variant=raw.get("variant", "serial"),
+            )
+        )
+    return IterationSchedule(placements, name=data.get("name", "loaded"))
+
+
+# ---------------------------------------------------------------------------
+# Pipelined schedules and solutions
+# ---------------------------------------------------------------------------
+
+
+def pipelined_to_dict(schedule: PipelinedSchedule) -> dict:
+    """JSON-safe representation of a pipelined (multi-iteration) schedule."""
+    return {
+        "iteration": iteration_to_dict(schedule.iteration),
+        "period": schedule.period,
+        "shift": schedule.shift,
+        "n_procs": schedule.n_procs,
+        "name": schedule.name,
+    }
+
+
+def pipelined_from_dict(data: dict) -> PipelinedSchedule:
+    """Rebuild a :class:`PipelinedSchedule`."""
+    return PipelinedSchedule(
+        iteration=iteration_from_dict(_require(data, "iteration", "pipelined schedule")),
+        period=float(_require(data, "period", "pipelined schedule")),
+        shift=int(_require(data, "shift", "pipelined schedule")),
+        n_procs=int(_require(data, "n_procs", "pipelined schedule")),
+        name=data.get("name", "loaded"),
+    )
+
+
+def solution_to_dict(solution: ScheduleSolution) -> dict:
+    """JSON-safe representation of a full per-state solution."""
+    return {
+        "state": dict(solution.state),
+        "iteration": iteration_to_dict(solution.iteration),
+        "pipelined": pipelined_to_dict(solution.pipelined),
+        "alternatives": solution.alternatives,
+        "explored": solution.explored,
+    }
+
+
+def solution_from_dict(data: dict) -> ScheduleSolution:
+    """Rebuild a :class:`ScheduleSolution`."""
+    state_vars = _require(data, "state", "solution")
+    return ScheduleSolution(
+        state=State(**state_vars),
+        iteration=iteration_from_dict(_require(data, "iteration", "solution")),
+        pipelined=pipelined_from_dict(_require(data, "pipelined", "solution")),
+        alternatives=int(data.get("alternatives", 1)),
+        explored=int(data.get("explored", 0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole tables
+# ---------------------------------------------------------------------------
+
+
+def table_to_json(table: ScheduleTable, indent: int | None = 2) -> str:
+    """Serialize a whole per-state table to a JSON string."""
+    payload = {
+        "format": "repro.schedule_table",
+        "version": _FORMAT_VERSION,
+        "entries": [solution_to_dict(sol) for sol in table.solutions()],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def table_from_json(text: str) -> ScheduleTable:
+    """Deserialize a per-state table from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ScheduleError(f"schedule table is not valid JSON: {err}") from None
+    if payload.get("format") != "repro.schedule_table":
+        raise ScheduleError(
+            f"not a schedule table (format={payload.get('format')!r})"
+        )
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported table version {payload.get('version')!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    solutions = {}
+    for entry in _require(payload, "entries", "schedule table"):
+        sol = solution_from_dict(entry)
+        solutions[sol.state] = sol
+    return ScheduleTable(solutions)

@@ -1,0 +1,159 @@
+"""Per-state schedule tables and the run-time switcher.
+
+§3.4: "We pre-compute the optimal schedule for each of the states.  The
+actions required on a state change are: perform a table look-up to
+determine the new schedule for the new state; perform a transition to the
+new schedule."
+
+:class:`ScheduleTable` is the off-line artifact (built once per cluster
+configuration); :class:`RegimeSwitcher` is the on-line component that
+reacts to confirmed regime changes by looking up the new schedule and
+accounting for the transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.errors import RegimeError
+from repro.core.optimal import OptimalScheduler, ScheduleSolution
+from repro.core.regime import RegimeChange, RegimeDetector
+from repro.core.transition import DrainTransition, TransitionEffect, TransitionPolicy
+from repro.graph.taskgraph import TaskGraph
+from repro.state import State, StateSpace
+
+__all__ = ["ScheduleTable", "SwitchRecord", "RegimeSwitcher"]
+
+
+class ScheduleTable:
+    """Pre-computed optimal schedules, one per application state.
+
+    >>> from repro.graph.builders import chain_graph
+    >>> from repro.sim.cluster import SINGLE_NODE_SMP
+    >>> from repro.state import StateSpace
+    >>> table = ScheduleTable.build(
+    ...     chain_graph([1.0, 1.0]),
+    ...     StateSpace.range("n_models", 1, 2),
+    ...     OptimalScheduler(SINGLE_NODE_SMP(2)),
+    ... )
+    >>> len(table)
+    2
+    """
+
+    def __init__(self, solutions: dict[State, ScheduleSolution]) -> None:
+        if not solutions:
+            raise RegimeError("schedule table needs at least one state")
+        self._solutions = dict(solutions)
+
+    @classmethod
+    def build(
+        cls,
+        graph: TaskGraph,
+        space: StateSpace,
+        scheduler: OptimalScheduler,
+        progress: Optional[Callable[[State, ScheduleSolution], None]] = None,
+    ) -> "ScheduleTable":
+        """Run the off-line optimizer for every state in ``space``."""
+        solutions: dict[State, ScheduleSolution] = {}
+        for state in space:
+            sol = scheduler.solve(graph, state)
+            solutions[state] = sol
+            if progress is not None:
+                progress(state, sol)
+        return cls(solutions)
+
+    def lookup(self, state: State) -> ScheduleSolution:
+        """The pre-computed solution for ``state`` (exact match)."""
+        try:
+            return self._solutions[state]
+        except KeyError:
+            raise RegimeError(
+                f"no pre-computed schedule for {state}; table covers "
+                f"{sorted(map(repr, self._solutions))}"
+            ) from None
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._solutions
+
+    def __len__(self) -> int:
+        return len(self._solutions)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._solutions)
+
+    def states(self) -> list[State]:
+        """All covered states."""
+        return list(self._solutions)
+
+    def solutions(self) -> list[ScheduleSolution]:
+        """All solutions, in state insertion order."""
+        return list(self._solutions.values())
+
+    def summary(self) -> str:
+        """Multi-line human-readable table."""
+        return "\n".join(sol.summary() for sol in self._solutions.values())
+
+
+@dataclass(frozen=True)
+class SwitchRecord:
+    """One executed schedule switch with its accounted cost."""
+
+    time: float
+    change: RegimeChange
+    effect: TransitionEffect
+    new_solution: ScheduleSolution
+
+
+class RegimeSwitcher:
+    """On-line component: detector + table look-up + transition accounting.
+
+    Feed raw observations via :meth:`observe`; the switcher keeps
+    ``active`` pointing at the solution for the confirmed regime and logs a
+    :class:`SwitchRecord` (with stall and lost-work accounting) for every
+    switch.
+    """
+
+    def __init__(
+        self,
+        table: ScheduleTable,
+        detector: RegimeDetector,
+        policy: Optional[TransitionPolicy] = None,
+    ) -> None:
+        if detector.current not in table:
+            raise RegimeError(
+                f"detector's initial state {detector.current} not in the table"
+            )
+        self.table = table
+        self.detector = detector
+        self.policy = policy or DrainTransition()
+        self.active: ScheduleSolution = table.lookup(detector.current)
+        self.switches: list[SwitchRecord] = []
+        self.total_stall = 0.0
+        self.total_lost_iterations = 0
+
+    def observe(self, time: float, value) -> Optional[SwitchRecord]:
+        """Process one raw observation; returns a record iff a switch ran."""
+        change = self.detector.observe(time, value)
+        if change is None:
+            return None
+        old = self.active
+        new = self.table.lookup(change.new)
+        effect = self.policy.effect(old, new)
+        self.active = new
+        record = SwitchRecord(time=time, change=change, effect=effect, new_solution=new)
+        self.switches.append(record)
+        self.total_stall += effect.stall
+        self.total_lost_iterations += effect.lost_iterations
+        return record
+
+    @property
+    def switch_count(self) -> int:
+        """Number of schedule switches executed."""
+        return len(self.switches)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegimeSwitcher(active={self.active.state}, "
+            f"switches={len(self.switches)}, stall={self.total_stall:g}s)"
+        )

@@ -1,0 +1,103 @@
+"""Schedule-transition policies.
+
+On a state change the runtime must "perform a transition to the new
+schedule" (§3.4).  The paper argues the cost is amortized because changes
+are infrequent; the transition policies here make that cost explicit so the
+regime experiments and the switch-frequency ablation can measure exactly
+when the amortization argument holds.
+
+Two policies:
+
+* :class:`DrainTransition` — let every in-flight iteration finish under the
+  old schedule, then start the new one.  Overhead is (roughly) the old
+  schedule's latency plus a fixed reconfiguration cost; no work is lost.
+* :class:`ImmediateTransition` — abandon in-flight iterations and start the
+  new schedule at once.  Overhead is only the reconfiguration cost, but the
+  iterations in flight (latency/period of them) are discarded — the
+  lost-work accounting feeds the uniformity metric.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.core.optimal import ScheduleSolution
+
+__all__ = ["TransitionEffect", "TransitionPolicy", "DrainTransition", "ImmediateTransition"]
+
+
+@dataclass(frozen=True)
+class TransitionEffect:
+    """What one schedule switch costs.
+
+    Attributes
+    ----------
+    stall:
+        Seconds during which no *new* iteration may start.
+    lost_iterations:
+        In-flight iterations abandoned (0 for draining transitions).
+    """
+
+    stall: float
+    lost_iterations: int
+
+    def __post_init__(self) -> None:
+        if self.stall < 0 or self.lost_iterations < 0:
+            raise ValueError(f"invalid transition effect {self}")
+
+
+class TransitionPolicy(abc.ABC):
+    """Strategy deciding the cost of switching between two solutions."""
+
+    @abc.abstractmethod
+    def effect(self, old: ScheduleSolution, new: ScheduleSolution) -> TransitionEffect:
+        """Cost of switching from ``old``'s schedule to ``new``'s."""
+
+    @staticmethod
+    def in_flight(solution: ScheduleSolution) -> int:
+        """Iterations simultaneously in flight under a pipelined schedule."""
+        if solution.period <= 0:
+            return 0
+        return max(1, math.ceil(solution.latency / solution.period))
+
+
+class DrainTransition(TransitionPolicy):
+    """Finish in-flight work under the old schedule, then switch.
+
+    Parameters
+    ----------
+    setup:
+        Fixed reconfiguration cost after draining (thread re-pinning,
+        dependence rewiring), in seconds.
+    """
+
+    def __init__(self, setup: float = 0.0) -> None:
+        if setup < 0:
+            raise ValueError(f"setup must be >= 0, got {setup}")
+        self.setup = float(setup)
+
+    def effect(self, old: ScheduleSolution, new: ScheduleSolution) -> TransitionEffect:
+        return TransitionEffect(stall=old.latency + self.setup, lost_iterations=0)
+
+    def __repr__(self) -> str:
+        return f"DrainTransition(setup={self.setup:g})"
+
+
+class ImmediateTransition(TransitionPolicy):
+    """Abandon in-flight iterations; switch after only the setup cost."""
+
+    def __init__(self, setup: float = 0.0) -> None:
+        if setup < 0:
+            raise ValueError(f"setup must be >= 0, got {setup}")
+        self.setup = float(setup)
+
+    def effect(self, old: ScheduleSolution, new: ScheduleSolution) -> TransitionEffect:
+        return TransitionEffect(
+            stall=self.setup,
+            lost_iterations=self.in_flight(old),
+        )
+
+    def __repr__(self) -> str:
+        return f"ImmediateTransition(setup={self.setup:g})"

@@ -1,0 +1,166 @@
+"""Per-state decomposition planning.
+
+§2.2's conclusion: "Best data decomposition strategy varies, depending on
+the current state (number of models) ... there is a small number of data
+decomposition choices, and the correct choice can be easily determined at
+run-time."  The planner pre-computes, for every state, the latency-minimal
+(FP, MP) choice; the run-time splitter does a table look-up
+(:meth:`DecompositionPlanner.plan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import DecompositionError
+from repro.decomp.costmodel import DetectionCostModel
+from repro.decomp.strategies import Decomposition, enumerate_decompositions
+from repro.state import State, StateSpace
+
+__all__ = ["DecompositionChoice", "DecompositionPlanner"]
+
+
+@dataclass(frozen=True)
+class DecompositionChoice:
+    """The planned decomposition for one state, with its predicted latency."""
+
+    state: State
+    decomposition: Decomposition
+    predicted_latency: float
+    serial_latency: float
+
+    @property
+    def speedup(self) -> float:
+        """Predicted speedup over the undecomposed task."""
+        if self.predicted_latency <= 0:
+            return float("inf")
+        return self.serial_latency / self.predicted_latency
+
+
+class DecompositionPlanner:
+    """Chooses and tabulates per-state decompositions.
+
+    Parameters
+    ----------
+    cost_model:
+        The calibrated :class:`~repro.decomp.costmodel.DetectionCostModel`.
+    fp_options / mp_options:
+        Candidate partition counts.
+    variable:
+        State variable holding the model count.
+    workers:
+        Worker thread count (defaults to the cost model's).
+    """
+
+    def __init__(
+        self,
+        cost_model: DetectionCostModel,
+        fp_options: Sequence[int] = (1, 2, 4),
+        mp_options: Sequence[int] = (1, 2, 4, 8),
+        variable: str = "n_models",
+        workers: Optional[int] = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.fp_options = tuple(sorted(set(fp_options)))
+        self.mp_options = tuple(sorted(set(mp_options)))
+        self.variable = variable
+        self.workers = workers if workers is not None else cost_model.workers
+        self._cache: dict[State, DecompositionChoice] = {}
+
+    def _n_models(self, state: State) -> int:
+        try:
+            n = state[self.variable]
+        except KeyError:
+            raise DecompositionError(
+                f"state {state} lacks variable {self.variable!r}"
+            ) from None
+        if not isinstance(n, int) or n < 1:
+            raise DecompositionError(f"invalid model count {n!r} in {state}")
+        return n
+
+    def candidates(self, state: State) -> list[tuple[Decomposition, float]]:
+        """All valid decompositions with predicted latencies, best first."""
+        n = self._n_models(state)
+        scored = [
+            (d, self.cost_model.latency(d, n, self.workers))
+            for d in enumerate_decompositions(n, self.fp_options, self.mp_options)
+        ]
+        scored.sort(key=lambda pair: (pair[1], pair[0].n_chunks))
+        return scored
+
+    def plan(self, state: State) -> DecompositionChoice:
+        """The latency-minimal decomposition for ``state`` (cached)."""
+        if state in self._cache:
+            return self._cache[state]
+        scored = self.candidates(state)
+        best, latency = scored[0]
+        choice = DecompositionChoice(
+            state=state,
+            decomposition=best,
+            predicted_latency=latency,
+            serial_latency=self.cost_model.serial_time(self._n_models(state)),
+        )
+        self._cache[state] = choice
+        return choice
+
+    def table(self, space: StateSpace) -> dict[State, DecompositionChoice]:
+        """The pre-computed per-state table the splitter consults."""
+        return {s: self.plan(s) for s in space}
+
+    def chunk_cost_fn(self):
+        """``(state, n_chunks) -> seconds`` adapter for DataParallelSpec.
+
+        The chunk cost is taken from the *planned* decomposition for the
+        state (the spec's ``chunks_for`` must come from
+        :meth:`chunks_for_fn` so the counts agree).
+        """
+
+        def chunk_cost(state: State, n_chunks: int) -> float:
+            choice = self.plan(state)
+            return self.cost_model.chunk_time(
+                choice.decomposition, self._n_models(state)
+            )
+
+        return chunk_cost
+
+    def chunks_for_fn(self):
+        """``(state, workers) -> n_chunks`` adapter for DataParallelSpec."""
+
+        def chunks_for(state: State, workers: int) -> int:
+            return self.plan(state).decomposition.n_chunks
+
+        return chunks_for
+
+    def frozen(self, state: State) -> "DecompositionPlanner":
+        """A planner that always answers with ``state``'s decomposition.
+
+        Models a system that does *not* re-plan on state changes: the
+        splitter keeps using the decomposition chosen for ``state`` no
+        matter the actual state.  Applying the frozen decomposition to a
+        state it is invalid for (e.g. MP=2 with one model) raises
+        :class:`~repro.errors.DecompositionError` — the §2.1 point that a
+        neighbouring state's strategy may be outright inapplicable.
+        """
+        frozen_choice = self.plan(state)
+        clone = DecompositionPlanner(
+            self.cost_model,
+            fp_options=self.fp_options,
+            mp_options=self.mp_options,
+            variable=self.variable,
+            workers=self.workers,
+        )
+
+        def frozen_plan(actual: State) -> DecompositionChoice:
+            n = clone._n_models(actual)
+            decomp = frozen_choice.decomposition
+            latency = clone.cost_model.latency(decomp, n, clone.workers)
+            return DecompositionChoice(
+                state=actual,
+                decomposition=decomp,
+                predicted_latency=latency,
+                serial_latency=clone.cost_model.serial_time(n),
+            )
+
+        clone.plan = frozen_plan  # type: ignore[method-assign]
+        return clone

@@ -1,0 +1,136 @@
+"""Live splitter/worker/joiner machinery (Figure 9).
+
+"The splitter reads from the input channels for task T.  It divides a
+single chunk of work into data parallel chunks and puts them on the work
+queue.  Each worker is a parameterized version of the original application
+task ... Chunks get assigned to worker threads based on worker
+availability.  The splitter tags each chunk with its target done channel
+... Finally, the joiner reads done channels to combine individual results
+into a single output result."
+
+:class:`SplitJoinPool` packages that structure as a persistent worker pool
+whose :meth:`compute` method can serve directly as a task's ``compute``
+kernel in the :class:`~repro.runtime.threaded.ThreadedRuntime`: split the
+inputs into chunks (per the planner's table look-up for the current
+state), farm the chunks to workers by availability, and join the results.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.errors import DecompositionError
+from repro.decomp.strategies import WorkChunk
+from repro.state import State
+
+__all__ = ["SplitJoinPool"]
+
+SplitFn = Callable[[State, dict], Sequence[tuple[WorkChunk, dict]]]
+WorkFn = Callable[[State, WorkChunk, dict], Any]
+JoinFn = Callable[[State, list[Any]], dict]
+
+
+class SplitJoinPool:
+    """A persistent data-parallel worker pool for one task.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads to keep alive.
+    split:
+        ``(state, inputs) -> [(chunk, chunk_inputs), ...]``.  Typically
+        consults a :class:`~repro.decomp.planner.DecompositionPlanner` for
+        the current state's (FP, MP) and slices the inputs accordingly.
+    work:
+        The parameterized worker kernel ``(state, chunk, chunk_inputs) ->
+        chunk_result`` — "designed to work on arbitrary chunks".
+    join:
+        ``(state, chunk_results) -> outputs_dict`` combining the sorted
+        chunk results into the task's output channels.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    _STOP = object()
+
+    def __init__(
+        self,
+        n_workers: int,
+        split: SplitFn,
+        work: WorkFn,
+        join: JoinFn,
+    ) -> None:
+        if n_workers < 1:
+            raise DecompositionError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.split = split
+        self.work = work
+        self.join = join
+        self._work_queue: "queue.Queue" = queue.Queue()
+        self._threads = [
+            threading.Thread(target=self._worker_loop, name=f"sjw-worker-{i}", daemon=True)
+            for i in range(n_workers)
+        ]
+        self.chunks_processed = 0
+        self._counter_lock = threading.Lock()
+        self._shut = False
+        for t in self._threads:
+            t.start()
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._work_queue.get()
+            if job is self._STOP:
+                return
+            state, chunk, chunk_inputs, done = job
+            try:
+                result = self.work(state, chunk, chunk_inputs)
+                done.put((chunk.index, result, None))
+            except BaseException as exc:  # noqa: BLE001 - forwarded to joiner
+                done.put((chunk.index, None, exc))
+            with self._counter_lock:
+                self.chunks_processed += 1
+
+    # -- splitter/joiner side ------------------------------------------------
+
+    def compute(self, state: State, inputs: dict) -> dict:
+        """Split -> farm -> join one invocation (ThreadedRuntime-compatible)."""
+        if self._shut:
+            raise DecompositionError("pool already shut down")
+        pieces = list(self.split(state, inputs))
+        if not pieces:
+            raise DecompositionError("splitter produced no chunks")
+        done: "queue.Queue" = queue.Queue()  # the chunk's tagged done channel
+        for chunk, chunk_inputs in pieces:
+            self._work_queue.put((state, chunk, chunk_inputs, done))
+        results: list[tuple[int, Any]] = []
+        for _ in pieces:
+            index, result, exc = done.get()
+            if exc is not None:
+                raise exc
+            results.append((index, result))
+        results.sort(key=lambda pair: pair[0])  # the done-channel sorting network
+        return self.join(state, [r for _, r in results])
+
+    def shutdown(self) -> None:
+        """Stop all workers (idempotent)."""
+        if self._shut:
+            return
+        self._shut = True
+        for _ in self._threads:
+            self._work_queue.put(self._STOP)
+        for t in self._threads:
+            t.join(timeout=10.0)
+
+    def __enter__(self) -> "SplitJoinPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"SplitJoinPool(workers={self.n_workers}, chunks={self.chunks_processed})"

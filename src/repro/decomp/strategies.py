@@ -1,0 +1,128 @@
+"""Decomposition strategies and their work chunks.
+
+A :class:`Decomposition` is an (FP, MP) pair: the frame is cut into ``fp``
+horizontal bands and the model set into ``mp`` groups; one
+:class:`WorkChunk` searches one model group in one band.  ``FP=1, MP=1``
+is the undecomposed task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import DecompositionError
+
+__all__ = ["WorkChunk", "Decomposition", "enumerate_decompositions"]
+
+
+@dataclass(frozen=True)
+class WorkChunk:
+    """One unit of data-parallel work for target detection.
+
+    Attributes
+    ----------
+    index:
+        Dense chunk index within its decomposition.
+    row_range:
+        Half-open frame-row interval ``(lo, hi)`` this chunk scans.
+    model_indices:
+        Indices of the color models this chunk searches for.
+    """
+
+    index: int
+    row_range: tuple[int, int]
+    model_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        lo, hi = self.row_range
+        if lo < 0 or hi <= lo:
+            raise DecompositionError(f"invalid row range {self.row_range}")
+        if not self.model_indices:
+            raise DecompositionError("chunk must search at least one model")
+
+    @property
+    def rows(self) -> int:
+        return self.row_range[1] - self.row_range[0]
+
+    @property
+    def n_models(self) -> int:
+        return len(self.model_indices)
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """An (FP, MP) decomposition of the target-detection input."""
+
+    fp: int
+    mp: int
+
+    def __post_init__(self) -> None:
+        if self.fp < 1 or self.mp < 1:
+            raise DecompositionError(f"FP and MP must be >= 1, got {self}")
+
+    @property
+    def n_chunks(self) -> int:
+        """Total work chunks = FP x MP (Table 1's parenthesized counts)."""
+        return self.fp * self.mp
+
+    @property
+    def label(self) -> str:
+        return f"FP={self.fp},MP={self.mp}"
+
+    def model_groups(self, n_models: int) -> list[tuple[int, ...]]:
+        """Split model indices into ``mp`` nearly-equal groups."""
+        if self.mp > n_models:
+            raise DecompositionError(
+                f"cannot split {n_models} models {self.mp} ways"
+            )
+        base, extra = divmod(n_models, self.mp)
+        groups = []
+        start = 0
+        for g in range(self.mp):
+            size = base + (1 if g < extra else 0)
+            groups.append(tuple(range(start, start + size)))
+            start += size
+        return groups
+
+    def row_bands(self, frame_rows: int) -> list[tuple[int, int]]:
+        """Split frame rows into ``fp`` nearly-equal horizontal bands."""
+        if self.fp > frame_rows:
+            raise DecompositionError(
+                f"cannot split {frame_rows} rows {self.fp} ways"
+            )
+        base, extra = divmod(frame_rows, self.fp)
+        bands = []
+        lo = 0
+        for b in range(self.fp):
+            size = base + (1 if b < extra else 0)
+            bands.append((lo, lo + size))
+            lo += size
+        return bands
+
+    def chunks(self, frame_rows: int, n_models: int) -> list[WorkChunk]:
+        """Materialize the FP x MP work chunks for a concrete input."""
+        out = []
+        idx = 0
+        for band in self.row_bands(frame_rows):
+            for group in self.model_groups(n_models):
+                out.append(WorkChunk(idx, band, group))
+                idx += 1
+        return out
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def enumerate_decompositions(
+    n_models: int,
+    fp_options: Sequence[int] = (1, 2, 4),
+    mp_options: Sequence[int] = (1, 2, 4, 8),
+) -> Iterator[Decomposition]:
+    """All valid decompositions for a state (MP capped at the model count)."""
+    if n_models < 1:
+        raise DecompositionError(f"need >= 1 model, got {n_models}")
+    for fp in sorted(set(fp_options)):
+        for mp in sorted(set(mp_options)):
+            if mp <= n_models:
+                yield Decomposition(fp=fp, mp=mp)

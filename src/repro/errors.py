@@ -1,0 +1,157 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type at an API boundary.  Sub-hierarchies mirror the
+package layout: simulation, task-graph construction, STM, scheduling, and
+experiment harness errors are distinguishable both by type and by message.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class SimTimeError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class SimDeadlock(SimulationError):
+    """The simulation ran out of events while processes were still blocked."""
+
+    def __init__(self, blocked: list[str] | None = None) -> None:
+        self.blocked = list(blocked or [])
+        detail = ", ".join(self.blocked) if self.blocked else "unknown processes"
+        super().__init__(f"simulation deadlock: blocked = [{detail}]")
+
+
+class ProcessError(SimulationError):
+    """A simulated process raised or was used incorrectly."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster model
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Invalid cluster description or processor reference."""
+
+
+# ---------------------------------------------------------------------------
+# Task graphs
+# ---------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for task-graph construction/validation errors."""
+
+
+class DuplicateNameError(GraphError):
+    """A task or channel name was registered twice."""
+
+
+class UnknownNameError(GraphError, KeyError):
+    """A task or channel name was referenced but never declared."""
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return Exception.__str__(self)
+
+
+class CycleError(GraphError):
+    """The task graph contains a dependency cycle."""
+
+
+class CostModelError(GraphError):
+    """A task cost model is missing or returned an invalid value."""
+
+
+# ---------------------------------------------------------------------------
+# Space-Time Memory
+# ---------------------------------------------------------------------------
+
+
+class STMError(ReproError):
+    """Base class for Space-Time Memory errors."""
+
+
+class ChannelClosed(STMError):
+    """Operation on a channel after it was closed for puts."""
+
+
+class DuplicateTimestamp(STMError):
+    """A channel already holds an item with this timestamp."""
+
+
+class ItemConsumed(STMError):
+    """The requested timestamp was already consumed on this connection."""
+
+
+class ItemUnavailable(STMError):
+    """No item satisfies the request (non-blocking get miss).
+
+    Carries the timestamps of the neighbouring available items, mirroring
+    the ``ts_range`` out-parameter of ``spd_channel_get_item``.
+    """
+
+    def __init__(self, timestamp: int | None, below: int | None, above: int | None):
+        self.timestamp = timestamp
+        self.below = below
+        self.above = above
+        super().__init__(
+            f"no item for timestamp {timestamp!r}; "
+            f"nearest below={below!r}, above={above!r}"
+        )
+
+
+class ConnectionError_(STMError):
+    """Invalid use of a channel connection (detached, wrong direction...)."""
+
+
+# ---------------------------------------------------------------------------
+# Scheduling
+# ---------------------------------------------------------------------------
+
+
+class ScheduleError(ReproError):
+    """Base class for schedule construction/validation errors."""
+
+
+class InvalidSchedule(ScheduleError):
+    """A schedule violates precedence, resource, or shape constraints."""
+
+
+class InfeasibleSchedule(ScheduleError):
+    """No legal schedule exists for the given graph and cluster."""
+
+
+class RegimeError(ScheduleError):
+    """Invalid regime/state-table configuration or lookup."""
+
+
+# ---------------------------------------------------------------------------
+# Decomposition
+# ---------------------------------------------------------------------------
+
+
+class DecompositionError(ReproError):
+    """Invalid data-decomposition request (e.g. MP > number of models)."""
+
+
+# ---------------------------------------------------------------------------
+# Experiments
+# ---------------------------------------------------------------------------
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced no data."""

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per paper table/figure, plus ablations.
+
+Every experiment returns a plain dataclass with the measured numbers and a
+``render()`` text method; the CLI (``python -m repro.experiments``) prints
+them.  EXPERIMENTS.md records paper-vs-measured for each.
+
+* :mod:`repro.experiments.table1` — Table 1: decomposition latencies.
+* :mod:`repro.experiments.figure3` — Figure 3: tuning curve vs the optimal
+  pre-computed schedule.
+* :mod:`repro.experiments.figure4` — Figure 4: pthread schedule vs naive
+  software pipeline (Gantt + metrics).
+* :mod:`repro.experiments.figure5` — Figure 5: task-parallel and
+  data-parallel optimal schedules.
+* :mod:`repro.experiments.regime` — §3.4: regime switching under the kiosk
+  arrival process.
+* :mod:`repro.experiments.ablations` — design-choice ablations (switch
+  frequency, interpolation, communication cost, flow control, quantum).
+"""
+
+from repro.experiments.table1 import run_table1, Table1Result
+from repro.experiments.figure3 import run_figure3, Figure3Result
+from repro.experiments.figure4 import run_figure4, Figure4Result
+from repro.experiments.figure5 import run_figure5, Figure5Result
+from repro.experiments.regime import run_regime, RegimeResult
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "run_figure3",
+    "Figure3Result",
+    "run_figure4",
+    "Figure4Result",
+    "run_figure5",
+    "Figure5Result",
+    "run_regime",
+    "RegimeResult",
+]

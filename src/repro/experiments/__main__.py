@@ -1,0 +1,114 @@
+"""CLI: regenerate any paper table/figure from the command line.
+
+    python -m repro.experiments table1
+    python -m repro.experiments figure3
+    python -m repro.experiments figure4
+    python -m repro.experiments figure5
+    python -m repro.experiments regime
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+    python -m repro.experiments all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "figure3", "figure4", "figure5", "regime",
+                 "ablations", "frontier", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller horizons/iterations for a fast sanity pass",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    runners = {
+        "table1": _table1,
+        "figure3": _figure3,
+        "figure4": _figure4,
+        "figure5": _figure5,
+        "regime": _regime,
+        "ablations": _ablations,
+        "frontier": _frontier,
+    }
+    names = list(runners) if args.experiment == "all" else [args.experiment]
+    chunks: list[str] = []
+    for name in names:
+        t0 = time.perf_counter()
+        body = runners[name](args.quick)
+        chunk = (
+            f"=== {name} ===\n{body}\n"
+            f"--- {name} done in {time.perf_counter() - t0:.1f}s ---\n"
+        )
+        print(chunk)
+        chunks.append(chunk)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write("\n".join(chunks))
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _table1(quick: bool) -> str:
+    from repro.experiments.table1 import run_table1
+
+    return run_table1().render()
+
+
+def _figure3(quick: bool) -> str:
+    from repro.experiments.figure3 import DEFAULT_PERIODS, run_figure3
+
+    periods = DEFAULT_PERIODS[::2] if quick else DEFAULT_PERIODS
+    horizon = 60.0 if quick else 120.0
+    return run_figure3(periods=periods, horizon=horizon).render()
+
+
+def _figure4(quick: bool) -> str:
+    from repro.experiments.figure4 import run_figure4
+
+    return run_figure4(horizon=60.0 if quick else 120.0).render()
+
+
+def _figure5(quick: bool) -> str:
+    from repro.experiments.figure5 import run_figure5
+
+    return run_figure5(iterations=8 if quick else 20).render()
+
+
+def _regime(quick: bool) -> str:
+    from repro.experiments.regime import run_regime
+
+    return run_regime(horizon=900.0 if quick else 3600.0).render()
+
+
+def _frontier(quick: bool) -> str:
+    from repro.experiments.frontier_exp import run_frontier
+
+    counts = (8,) if quick else (1, 4, 8)
+    return run_frontier(model_counts=counts).render()
+
+
+def _ablations(quick: bool) -> str:
+    from repro.experiments.ablations import render_all
+
+    return render_all()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Table 1: timing results for the target-detection task under decomposition.
+
+Paper (seconds/frame, 4 workers):
+
+    ==========  =======  ============  ============
+    Partitions  1 model  8 men, MP=8   8 men, MP=1
+    ==========  =======  ============  ============
+    FP=1        0.876    1.857 (8)     6.850 (1)
+    FP=4        0.275    2.155 (32)    2.033 (4)
+    ==========  =======  ============  ============
+
+We regenerate every cell twice: from the calibrated analytic cost model,
+and by *executing* the Figure 9 splitter/worker/joiner expansion of the
+decomposed task on the simulated cluster (the two agree exactly for
+uniform chunks, which is itself a tested invariant).  The shape checks at
+the bottom encode the paper's conclusions: FP wins at one model, MP wins
+at eight, and over-decomposition (32 chunks) costs more than its
+parallelism buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decomp.costmodel import DetectionCostModel, TABLE1_CALIBRATION
+from repro.decomp.strategies import Decomposition
+from repro.errors import ExperimentError
+from repro.experiments.report import format_table
+from repro.graph.channel import ChannelSpec
+from repro.graph.cost import CallableCost, ConstantCost
+from repro.graph.dataparallel import expand_data_parallel
+from repro.graph.task import DataParallelSpec, Task
+from repro.graph.taskgraph import TaskGraph
+from repro.core.schedule import IterationSchedule, PipelinedSchedule, Placement
+from repro.runtime.static_exec import StaticExecutor
+from repro.sim.cluster import ClusterSpec, SINGLE_NODE_SMP
+from repro.state import State
+
+__all__ = ["Table1Cell", "Table1Result", "simulate_decomposition", "run_table1"]
+
+#: The paper's measured values, keyed by (fp, n_models, mp).
+PAPER_TABLE1 = {
+    (1, 1, 1): 0.876,
+    (4, 1, 1): 0.275,
+    (1, 8, 8): 1.857,
+    (4, 8, 8): 2.155,
+    (1, 8, 1): 6.850,
+    (4, 8, 1): 2.033,
+}
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One cell of the reproduced table."""
+
+    fp: int
+    n_models: int
+    mp: int
+    paper: float
+    analytic: float
+    simulated: float
+
+    @property
+    def chunks(self) -> int:
+        return self.fp * self.mp
+
+
+@dataclass
+class Table1Result:
+    """All six cells plus the shape assertions the paper's text makes."""
+
+    cells: list[Table1Cell]
+    workers: int
+
+    def cell(self, fp: int, n_models: int, mp: int) -> Table1Cell:
+        for c in self.cells:
+            if (c.fp, c.n_models, c.mp) == (fp, n_models, mp):
+                return c
+        raise ExperimentError(f"no cell ({fp}, {n_models}, {mp})")
+
+    def shape_holds(self) -> bool:
+        """The paper's qualitative conclusions, as one boolean."""
+        sim = {(c.fp, c.n_models, c.mp): c.simulated for c in self.cells}
+        return (
+            # 1 model: divide the frame (no way to divide one model).
+            sim[(4, 1, 1)] < sim[(1, 1, 1)]
+            # 8 models: "it is best to distribute models".
+            and sim[(1, 8, 8)] < sim[(4, 8, 1)]
+            and sim[(1, 8, 8)] < sim[(4, 8, 8)]
+            # Everything beats no decomposition at 8 models.
+            and all(sim[k] < sim[(1, 8, 1)] for k in [(1, 8, 8), (4, 8, 8), (4, 8, 1)])
+            # Over-decomposition (32 chunks) is worse than 8 chunks.
+            and sim[(4, 8, 8)] > sim[(1, 8, 8)]
+        )
+
+    def render(self) -> str:
+        rows = []
+        for c in self.cells:
+            rows.append(
+                [
+                    f"FP={c.fp}",
+                    c.n_models,
+                    f"MP={c.mp}",
+                    c.chunks,
+                    c.paper,
+                    c.analytic,
+                    c.simulated,
+                ]
+            )
+        table = format_table(
+            ["partitions", "models", "model split", "chunks", "paper (s)", "model (s)", "simulated (s)"],
+            rows,
+            title=f"Table 1 reproduction ({self.workers} workers)",
+        )
+        return table + f"\nshape holds: {self.shape_holds()}"
+
+
+def decomposed_task_graph(
+    cost_model: DetectionCostModel,
+    decomp: Decomposition,
+    n_models: int,
+    workers: int,
+) -> TaskGraph:
+    """src -> detect -> sink with detect carrying this exact decomposition."""
+    spec = DataParallelSpec(
+        worker_counts=[workers],
+        chunk_cost=lambda state, n_chunks: cost_model.chunk_time(decomp, state["n_models"]),
+        chunks_for=lambda state, w: decomp.n_chunks,
+        split_cost=cost_model.split_cost,
+        join_cost=cost_model.join_cost,
+    )
+    g = TaskGraph(f"table1[{decomp.label},m={n_models}]")
+    g.add_channel(ChannelSpec("in", item_bytes=0))
+    g.add_channel(ChannelSpec("out", item_bytes=0))
+    g.add_task(Task("src", cost=ConstantCost(0.0), outputs=["in"]))
+    g.add_task(
+        Task(
+            "detect",
+            cost=CallableCost(
+                lambda s: cost_model.serial_time(s["n_models"]), label="detect"
+            ),
+            inputs=["in"],
+            outputs=["out"],
+            data_parallel=spec,
+        )
+    )
+    g.add_task(Task("sink", cost=ConstantCost(0.0), inputs=["out"]))
+    g.validate()
+    return g
+
+
+def simulate_decomposition(
+    cost_model: DetectionCostModel,
+    decomp: Decomposition,
+    n_models: int,
+    workers: int,
+    cluster: ClusterSpec | None = None,
+) -> float:
+    """Measured latency of the decomposed task on the simulated cluster.
+
+    The task is expanded into the Figure 9 subgraph (splitter, ``workers``
+    workers, joiner) and executed by the static executor; the returned
+    value is the measured completion time of one frame.
+    """
+    cluster = cluster or SINGLE_NODE_SMP(workers)
+    state = State(n_models=n_models)
+    graph = decomposed_task_graph(cost_model, decomp, n_models, workers)
+    if decomp.n_chunks == 1:
+        expanded = graph  # undecomposed: run the serial task directly
+        # Serial single-processor schedule.
+        placements = []
+        t = 0.0
+        for name in expanded.topo_order():
+            dur = expanded.task(name).cost(state)
+            placements.append(Placement(name, (0,), t, dur))
+            t += dur
+        iteration = IterationSchedule(placements, name="serial")
+        schedule = PipelinedSchedule(iteration, period=max(t, 1e-9), shift=0,
+                                     n_procs=cluster.total_processors)
+    else:
+        expanded = expand_data_parallel(graph, "detect", workers,
+                                        n_chunks=decomp.n_chunks)
+        # Parallel iteration schedule: splitter, then all workers in
+        # parallel (each executing its waves of chunks), then joiner.
+        split = expanded.task("detect.split")
+        join = expanded.task("detect.join")
+        t0 = expanded.task("src").cost(state)
+        split_end = t0 + split.cost(state)
+        placements = [
+            Placement("src", (0,), 0.0, t0),
+            Placement("detect.split", (0,), t0, split.cost(state)),
+        ]
+        worker_end = split_end
+        for i in range(workers):
+            w = expanded.task(f"detect.w{i}")
+            dur = w.cost(state)
+            placements.append(Placement(f"detect.w{i}", (i,), split_end, dur))
+            worker_end = max(worker_end, split_end + dur)
+        placements.append(
+            Placement("detect.join", (0,), worker_end, join.cost(state))
+        )
+        placements.append(
+            Placement(
+                "sink", (0,), worker_end + join.cost(state),
+                expanded.task("sink").cost(state),
+            )
+        )
+        iteration = IterationSchedule(placements, name=decomp.label)
+        schedule = PipelinedSchedule(
+            iteration, period=iteration.latency, shift=0,
+            n_procs=cluster.total_processors,
+        )
+    result = StaticExecutor(expanded, state, cluster, schedule).run(1)
+    lat = result.latency(0)
+    if lat is None:
+        raise ExperimentError(f"decomposition {decomp} never completed")
+    return lat
+
+
+def run_table1(
+    cost_model: DetectionCostModel = TABLE1_CALIBRATION,
+    workers: int = 4,
+) -> Table1Result:
+    """Regenerate every Table 1 cell (analytic + simulated)."""
+    cells = []
+    for (fp, m, mp), paper in PAPER_TABLE1.items():
+        decomp = Decomposition(fp, mp)
+        analytic = cost_model.latency(decomp, m, workers)
+        simulated = simulate_decomposition(cost_model, decomp, m, workers)
+        cells.append(
+            Table1Cell(fp=fp, n_models=m, mp=mp, paper=paper,
+                       analytic=analytic, simulated=simulated)
+        )
+    return Table1Result(cells=cells, workers=workers)

@@ -1,0 +1,208 @@
+"""Generic task-graph topology builders.
+
+These produce the small recurring shapes used throughout tests, examples
+and experiments: linear chains, fork-joins, and the Figure 2 "tracker
+shape" (source -> two parallel mid tasks -> heavy join task -> light sink).
+The fully calibrated color-tracker graph lives in
+:mod:`repro.apps.tracker.graph`; this module owns only topology.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.channel import ChannelSpec
+from repro.graph.cost import CostFn
+from repro.graph.task import DataParallelSpec, Task
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["chain_graph", "fork_join_graph", "tracker_shape_graph", "random_dag"]
+
+
+def chain_graph(
+    costs: Sequence[float | CostFn],
+    item_bytes: int = 0,
+    period: Optional[float] = None,
+    name: str = "chain",
+) -> TaskGraph:
+    """A linear pipeline ``t0 -> t1 -> ... -> t{n-1}``.
+
+    >>> g = chain_graph([0.1, 0.2, 0.3])
+    >>> g.topo_order()
+    ['t0', 't1', 't2']
+    """
+    if not costs:
+        raise GraphError("chain_graph needs at least one task")
+    g = TaskGraph(name)
+    n = len(costs)
+    for i in range(n - 1):
+        g.add_channel(ChannelSpec(f"c{i}", item_bytes=item_bytes))
+    for i, cost in enumerate(costs):
+        inputs = [f"c{i-1}"] if i > 0 else []
+        outputs = [f"c{i}"] if i < n - 1 else []
+        g.add_task(
+            Task(
+                f"t{i}",
+                cost=cost,
+                inputs=inputs,
+                outputs=outputs,
+                period=period if i == 0 else None,
+            )
+        )
+    g.validate()
+    return g
+
+
+def fork_join_graph(
+    source_cost: float | CostFn,
+    branch_costs: Sequence[float | CostFn],
+    sink_cost: float | CostFn,
+    item_bytes: int = 0,
+    period: Optional[float] = None,
+    name: str = "forkjoin",
+) -> TaskGraph:
+    """``source`` fans out to parallel branches which join at ``sink``."""
+    if not branch_costs:
+        raise GraphError("fork_join_graph needs at least one branch")
+    g = TaskGraph(name)
+    g.add_channel(ChannelSpec("src_out", item_bytes=item_bytes))
+    for i in range(len(branch_costs)):
+        g.add_channel(ChannelSpec(f"branch{i}_out", item_bytes=item_bytes))
+    g.add_task(Task("source", cost=source_cost, outputs=["src_out"], period=period))
+    for i, cost in enumerate(branch_costs):
+        g.add_task(
+            Task(f"branch{i}", cost=cost, inputs=["src_out"], outputs=[f"branch{i}_out"])
+        )
+    g.add_task(
+        Task(
+            "sink",
+            cost=sink_cost,
+            inputs=[f"branch{i}_out" for i in range(len(branch_costs))],
+        )
+    )
+    g.validate()
+    return g
+
+
+def random_dag(
+    n_tasks: int,
+    seed: int,
+    edge_prob: float = 0.4,
+    max_cost: float = 2.0,
+    item_bytes: int = 0,
+    dp_prob: float = 0.0,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """A random stream task graph for property-based scheduler tests.
+
+    Tasks are generated in topological order (``t0 .. t{n-1}``); each task
+    after the first consumes the output channel of each earlier task with
+    probability ``edge_prob`` (at least one, so the graph is connected and
+    single-source via ``t0``).  Costs are uniform in ``(0, max_cost]``.
+    With ``dp_prob`` a task gets a 2/4-worker data-parallel variant.
+
+    Deterministic for a given seed — hypothesis can shrink on the seed.
+    """
+    import random as _random
+
+    if n_tasks < 1:
+        raise GraphError(f"need >= 1 task, got {n_tasks}")
+    rng = _random.Random(seed)
+    g = TaskGraph(name or f"random{seed}")
+    for i in range(n_tasks):
+        g.add_channel(ChannelSpec(f"c{i}", item_bytes=item_bytes))
+    for i in range(n_tasks):
+        if i == 0:
+            inputs: list[str] = []
+        else:
+            inputs = [f"c{j}" for j in range(i) if rng.random() < edge_prob]
+            if not inputs:
+                inputs = [f"c{rng.randrange(i)}"]
+        dp = None
+        if dp_prob and rng.random() < dp_prob:
+            dp = DataParallelSpec(
+                worker_counts=[2, 4], per_chunk_overhead=rng.uniform(0, 0.05)
+            )
+        g.add_task(
+            Task(
+                f"t{i}",
+                cost=rng.uniform(1e-3, max_cost),
+                inputs=inputs,
+                outputs=[f"c{i}"],
+                data_parallel=dp,
+            )
+        )
+    g.validate()
+    return g
+
+
+def tracker_shape_graph(
+    costs: Mapping[str, float | CostFn],
+    sizes: Optional[Mapping[str, int]] = None,
+    t4_data_parallel: Optional[DataParallelSpec] = None,
+    digitizer_period: Optional[float] = None,
+    name: str = "tracker",
+) -> TaskGraph:
+    """The Figure 2 topology with pluggable costs.
+
+    Tasks (names follow §3.2 of the paper):
+
+    * ``T1`` Digitizer: source, puts ``frame``.
+    * ``T2`` Change Detection: ``frame -> motion_mask``.
+    * ``T3`` Histogram: ``frame -> histogram``.
+    * ``T4`` Target Detection: ``frame, motion_mask, histogram``
+      (+ static ``color_model``) ``-> back_projections``.
+    * ``T5`` Peak Detection: ``back_projections -> model_locations``.
+
+    Parameters
+    ----------
+    costs:
+        Mapping ``{"T1": cost, ..., "T5": cost}``.
+    sizes:
+        Optional per-channel item sizes in bytes (defaults to 0).
+    t4_data_parallel:
+        Optional data-parallel spec for Target Detection.
+    digitizer_period:
+        Firing period of T1 — the paper's primary tuning variable.
+    """
+    missing = {"T1", "T2", "T3", "T4", "T5"} - set(costs)
+    if missing:
+        raise GraphError(f"tracker_shape_graph: missing costs for {sorted(missing)}")
+    sizes = dict(sizes or {})
+
+    def size(ch: str) -> int:
+        return sizes.get(ch, 0)
+
+    g = TaskGraph(name)
+    g.add_channel(ChannelSpec("frame", item_bytes=size("frame")))
+    g.add_channel(ChannelSpec("motion_mask", item_bytes=size("motion_mask")))
+    g.add_channel(ChannelSpec("histogram", item_bytes=size("histogram")))
+    g.add_channel(ChannelSpec("back_projections", item_bytes=size("back_projections")))
+    g.add_channel(ChannelSpec("model_locations", item_bytes=size("model_locations")))
+    g.add_channel(ChannelSpec("color_model", item_bytes=size("color_model"), static=True))
+
+    g.add_task(
+        Task("T1", cost=costs["T1"], outputs=["frame"], period=digitizer_period)
+    )
+    g.add_task(Task("T2", cost=costs["T2"], inputs=["frame"], outputs=["motion_mask"]))
+    g.add_task(Task("T3", cost=costs["T3"], inputs=["frame"], outputs=["histogram"]))
+    g.add_task(
+        Task(
+            "T4",
+            cost=costs["T4"],
+            inputs=["frame", "motion_mask", "histogram", "color_model"],
+            outputs=["back_projections"],
+            data_parallel=t4_data_parallel,
+        )
+    )
+    g.add_task(
+        Task(
+            "T5",
+            cost=costs["T5"],
+            inputs=["back_projections"],
+            outputs=["model_locations"],
+        )
+    )
+    g.validate()
+    return g

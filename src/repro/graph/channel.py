@@ -1,0 +1,96 @@
+"""Channel declarations for the task graph.
+
+A channel in the abstract execution model is "location independent and
+holds a collection of objects indexed by time".  At the graph level we only
+need its *declaration*: a name, an item-size model (feeding the Figure 6
+communication-cost input), and an optional capacity used by the
+flow-control ablation.  The run-time behaviour lives in :mod:`repro.stm`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.errors import GraphError
+from repro.state import State
+
+__all__ = ["ChannelSpec"]
+
+SizeModel = Union[int, Callable[[State], int]]
+
+
+class ChannelSpec:
+    """Declaration of one stream channel.
+
+    Parameters
+    ----------
+    name:
+        Unique channel name within its graph.
+    item_bytes:
+        Size of one item, either a constant or a ``State -> int`` callable
+        (e.g. the Back Projections channel carries one plane per model, so
+        its size grows with ``n_models``).
+    capacity:
+        Optional bound on simultaneously-live items; ``None`` = unbounded.
+        The paper notes that static schedules make explicit flow control
+        unnecessary ("a fixed schedule determines the number of items in
+        each channel"); capacities exist for the baseline and ablations.
+    static:
+        True for channels holding configuration rather than streaming data
+        (the Color Model channel): their items are written once, carry no
+        per-timestamp precedence, and are excluded from latency accounting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        item_bytes: SizeModel = 0,
+        capacity: Optional[int] = None,
+        static: bool = False,
+    ) -> None:
+        if not name or not isinstance(name, str):
+            raise GraphError(f"channel needs a non-empty string name, got {name!r}")
+        if capacity is not None and capacity < 1:
+            raise GraphError(f"channel {name!r}: capacity must be >= 1 or None")
+        if isinstance(item_bytes, bool) or (
+            isinstance(item_bytes, int) and item_bytes < 0
+        ):
+            raise GraphError(f"channel {name!r}: item_bytes must be >= 0")
+        self.name = name
+        self._item_bytes = item_bytes
+        self.capacity = capacity
+        self.static = static
+
+    def item_size(self, state: State) -> int:
+        """Bytes per item in the given application state."""
+        if callable(self._item_bytes):
+            size = self._item_bytes(state)
+        else:
+            size = self._item_bytes
+        if not isinstance(size, int) or size < 0:
+            raise GraphError(
+                f"channel {self.name!r}: size model produced {size!r} for {state}"
+            )
+        return size
+
+    def with_capacity(self, capacity: Optional[int]) -> "ChannelSpec":
+        """A copy of this spec with a different capacity."""
+        return ChannelSpec(self.name, self._item_bytes, capacity, self.static)
+
+    def __repr__(self) -> str:
+        extra = f", capacity={self.capacity}" if self.capacity is not None else ""
+        extra += ", static" if self.static else ""
+        return f"ChannelSpec({self.name!r}{extra})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelSpec):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.capacity == other.capacity
+            and self.static == other.static
+            and self._item_bytes == other._item_bytes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.capacity, self.static))

@@ -1,0 +1,201 @@
+"""Execution-time models: task cost as a function of application state.
+
+The paper's central observation about the color tracker (§1) is that "the
+time for tasks T1, T2, and T3 do not depend on the number of models...
+The time for tasks T4 and T5 are both linear in the number of models but
+the constant factor is quite different."  Cost models capture exactly this:
+a cost is a callable ``State -> seconds`` with a few concrete shapes —
+constant, linear-in-a-state-variable, table-driven, or arbitrary callable.
+
+All cost models validate their output (finite, non-negative) so a bad
+calibration fails loudly at schedule time, not silently inside the
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Protocol, runtime_checkable
+
+from repro.errors import CostModelError
+from repro.state import State
+
+__all__ = [
+    "CostFn",
+    "ZeroCost",
+    "ConstantCost",
+    "LinearCost",
+    "TableCost",
+    "CallableCost",
+    "as_cost",
+]
+
+
+@runtime_checkable
+class CostFn(Protocol):
+    """Anything that maps an application state to a duration in seconds."""
+
+    def __call__(self, state: State) -> float: ...
+
+
+def _check(value: float, origin: str, state: State) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise CostModelError(f"{origin} returned non-numeric cost {value!r} for {state}")
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise CostModelError(f"{origin} returned invalid cost {value} for {state}")
+    return value
+
+
+class ZeroCost:
+    """A free operation (used for pure plumbing tasks in tests)."""
+
+    def __call__(self, state: State) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "ZeroCost()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ZeroCost)
+
+    def __hash__(self) -> int:
+        return hash("ZeroCost")
+
+
+class ConstantCost:
+    """A state-independent cost — the paper's T1/T2/T3.
+
+    >>> c = ConstantCost(0.12)
+    >>> c(State(n_models=1)) == c(State(n_models=8)) == 0.12
+    True
+    """
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = _check(seconds, "ConstantCost", State(_check="init"))
+
+    def __call__(self, state: State) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"ConstantCost({self.seconds:g})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantCost) and self.seconds == other.seconds
+
+    def __hash__(self) -> int:
+        return hash(("ConstantCost", self.seconds))
+
+
+class LinearCost:
+    """``base + slope * state[variable]`` — the paper's T4/T5.
+
+    >>> t4 = LinearCost(base=0.02, slope=0.854, variable="n_models")
+    >>> round(t4(State(n_models=8)), 3)
+    6.852
+    """
+
+    def __init__(self, base: float, slope: float, variable: str = "n_models") -> None:
+        if base < 0 or slope < 0:
+            raise CostModelError(f"LinearCost needs non-negative base/slope, got {base}, {slope}")
+        self.base = float(base)
+        self.slope = float(slope)
+        self.variable = variable
+
+    def __call__(self, state: State) -> float:
+        try:
+            x = state[self.variable]
+        except KeyError:
+            raise CostModelError(
+                f"LinearCost needs state variable {self.variable!r}; state has {list(state)}"
+            ) from None
+        return _check(self.base + self.slope * x, "LinearCost", state)
+
+    def __repr__(self) -> str:
+        return f"LinearCost({self.base:g} + {self.slope:g}*{self.variable})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinearCost)
+            and (self.base, self.slope, self.variable)
+            == (other.base, other.slope, other.variable)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("LinearCost", self.base, self.slope, self.variable))
+
+
+class TableCost:
+    """Measured per-state costs — what calibration produces.
+
+    Lookup is exact; a missing state either raises (default) or falls back
+    to the nearest measured value of the keyed variable when
+    ``interpolate=True`` (used by the interpolation ablation).
+    """
+
+    def __init__(
+        self,
+        table: Mapping[State, float],
+        interpolate: bool = False,
+        variable: str = "n_models",
+    ) -> None:
+        if not table:
+            raise CostModelError("TableCost needs at least one entry")
+        self.table = {s: _check(v, "TableCost", s) for s, v in table.items()}
+        self.interpolate = interpolate
+        self.variable = variable
+
+    def __call__(self, state: State) -> float:
+        if state in self.table:
+            return self.table[state]
+        if not self.interpolate:
+            raise CostModelError(f"TableCost has no entry for {state}")
+        try:
+            x = state[self.variable]
+        except KeyError:
+            raise CostModelError(
+                f"TableCost interpolation needs variable {self.variable!r} in {state}"
+            ) from None
+        pts = sorted(
+            (s[self.variable], v) for s, v in self.table.items() if self.variable in s
+        )
+        if not pts:
+            raise CostModelError(f"TableCost has no entries keyed by {self.variable!r}")
+        # Piecewise-linear interpolation, clamped at the ends.
+        if x <= pts[0][0]:
+            return pts[0][1]
+        if x >= pts[-1][0]:
+            return pts[-1][1]
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            if x0 <= x <= x1:
+                if x1 == x0:
+                    return y0
+                t = (x - x0) / (x1 - x0)
+                return y0 + t * (y1 - y0)
+        raise CostModelError(f"TableCost interpolation failed for {state}")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"TableCost({len(self.table)} entries, interpolate={self.interpolate})"
+
+
+class CallableCost:
+    """Wrap an arbitrary ``State -> seconds`` callable with validation."""
+
+    def __init__(self, fn: Callable[[State], float], label: str = "callable") -> None:
+        self.fn = fn
+        self.label = label
+
+    def __call__(self, state: State) -> float:
+        return _check(self.fn(state), f"CallableCost[{self.label}]", state)
+
+    def __repr__(self) -> str:
+        return f"CallableCost({self.label})"
+
+
+def as_cost(value: "float | CostFn") -> CostFn:
+    """Coerce a bare number to :class:`ConstantCost`; pass callables through."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return ConstantCost(float(value))
+    if callable(value):
+        return value  # type: ignore[return-value]
+    raise CostModelError(f"cannot interpret {value!r} as a cost model")

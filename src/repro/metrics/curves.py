@@ -1,0 +1,88 @@
+"""Latency/throughput curve utilities (the Figure 3 geometry).
+
+Figure 3 plots latency (y, lower is better) against throughput
+(x, higher is better); "the desired operating point is the lower right
+corner".  The headline result is a *dominance* claim: the pre-computed
+optimal schedule "indicates performance that is strictly better than all
+of the points on the tuning curve".  These helpers make that claim
+checkable: :func:`dominates` and :func:`pareto_front` implement the
+partial order, and tests/benchmarks assert the optimal point dominates
+every tuned point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["CurvePoint", "dominates", "pareto_front", "render_curve"]
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One operating point in (throughput, latency) space."""
+
+    throughput: float
+    latency: float
+    label: str = ""
+
+
+def dominates(a: CurvePoint, b: CurvePoint, tolerance: float = 0.0) -> bool:
+    """True if ``a`` is at least as good as ``b`` on both axes and strictly
+    better on at least one (within ``tolerance``)."""
+    no_worse = (
+        a.latency <= b.latency + tolerance and a.throughput >= b.throughput - tolerance
+    )
+    strictly = a.latency < b.latency - tolerance or a.throughput > b.throughput + tolerance
+    return no_worse and strictly
+
+
+def pareto_front(points: Iterable[CurvePoint]) -> list[CurvePoint]:
+    """Non-dominated subset, sorted by increasing throughput."""
+    pts = list(points)
+    front = [
+        p
+        for p in pts
+        if not any(dominates(q, p) for q in pts if q is not p)
+    ]
+    return sorted(front, key=lambda p: (p.throughput, -p.latency))
+
+
+def render_curve(
+    points: Sequence[CurvePoint],
+    highlight: Optional[CurvePoint] = None,
+    width: int = 64,
+    height: int = 20,
+) -> str:
+    """ASCII scatter of (throughput, latency) with an optional highlight.
+
+    The highlight (the optimal point) is drawn as ``*``, curve points as
+    ``o`` — matching Figure 3's markers.
+    """
+    all_pts = list(points) + ([highlight] if highlight else [])
+    if not all_pts:
+        return "(no points)"
+    xs = [p.throughput for p in all_pts]
+    ys = [p.latency for p in all_pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(p: CurvePoint, mark: str) -> None:
+        cx = int((p.throughput - x0) / xr * (width - 1))
+        cy = int((p.latency - y0) / yr * (height - 1))
+        grid[height - 1 - cy][cx] = mark
+
+    for p in points:
+        plot(p, "o")
+    if highlight:
+        plot(highlight, "*")
+    lines = [f"latency {y1:8.3f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 17 + "|" + "".join(row))
+    lines.append(f"        {y0:8.3f} +" + "".join(grid[-1]))
+    lines.append(" " * 18 + f"{x0:<10.3f}" + " " * max(0, width - 20) + f"{x1:>10.3f}")
+    lines.append(" " * 18 + "throughput (1/s)  [o tuned, * optimal]")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Latency and throughput statistics.
+
+Definitions follow §3.1 precisely:
+
+* latency — "the time it takes to process a single video frame ... the
+  time interval between placing a frame into the Video Frame channel and
+  reading all of its detected target locations";
+* throughput — "the number of frames completely processed per unit time
+  ... the inverse of the time between the arrival of two consecutive
+  results at the output of the application (the inter-arrival time)".
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.runtime.result import ExecutionResult
+
+__all__ = ["LatencyStats", "latency_stats", "throughput_from_completions"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of per-frame latencies over an execution window."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    @property
+    def spread(self) -> float:
+        """max - min: the paper's 'erratic' band width."""
+        return self.maximum - self.minimum
+
+
+def latency_stats(
+    result: ExecutionResult,
+    warmup_fraction: float = 0.0,
+) -> LatencyStats:
+    """Latency statistics over completed frames, after optional warm-up.
+
+    ``warmup_fraction`` drops the first fraction of completed frames so
+    start-up transients (empty pipeline) do not bias steady-state numbers.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ExperimentError(f"warmup_fraction must be in [0,1), got {warmup_fraction}")
+    completed = result.completed
+    if not completed:
+        raise ExperimentError("no completed frames to measure latency over")
+    cut = int(len(completed) * warmup_fraction)
+    window = completed[cut:] or completed
+    lats = [result.latency(ts) for ts in window]
+    lats = [l for l in lats if l is not None]
+    if not lats:
+        raise ExperimentError("no frames with both digitize and completion times")
+    return LatencyStats(
+        count=len(lats),
+        mean=statistics.mean(lats),
+        median=statistics.median(lats),
+        minimum=min(lats),
+        maximum=max(lats),
+        stdev=statistics.pstdev(lats) if len(lats) > 1 else 0.0,
+    )
+
+
+def throughput_from_completions(
+    completions: Sequence[float],
+    horizon: Optional[float] = None,
+) -> float:
+    """Inverse mean inter-arrival time of results.
+
+    With fewer than two completions, falls back to ``count / horizon``
+    (zero when no horizon is given).
+    """
+    seq = sorted(completions)
+    if len(seq) >= 2:
+        mean_gap = (seq[-1] - seq[0]) / (len(seq) - 1)
+        if mean_gap > 0:
+            return 1.0 / mean_gap
+    if horizon and horizon > 0:
+        return len(seq) / horizon
+    return 0.0

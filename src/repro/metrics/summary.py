@@ -1,0 +1,68 @@
+"""One-call execution summary: every metric for one result.
+
+Experiments and examples repeatedly compute latency stats + throughput +
+uniformity + utilization; :func:`summarize` bundles them into a single
+:class:`ExecutionSummary` with a readable ``render()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.latency import LatencyStats, latency_stats, throughput_from_completions
+from repro.metrics.uniformity import UniformityStats, uniformity_stats
+from repro.runtime.result import ExecutionResult
+
+__all__ = ["ExecutionSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class ExecutionSummary:
+    """All headline metrics of one execution."""
+
+    latency: LatencyStats
+    uniformity: UniformityStats
+    throughput: float
+    utilization: float
+    gc_collected: int
+    live_item_high_water: int
+    slips: int
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        return "\n".join(
+            [
+                f"latency:     mean {self.latency.mean:.3f}s "
+                f"[{self.latency.minimum:.3f}, {self.latency.maximum:.3f}] "
+                f"over {self.latency.count} frames",
+                f"throughput:  {self.throughput:.3f} frames/s",
+                f"uniformity:  coverage {self.uniformity.coverage:.1%}, "
+                f"max skip gap {self.uniformity.max_gap}, "
+                f"inter-arrival CV {self.uniformity.interarrival_cv:.3f}",
+                f"utilization: {self.utilization:.1%}",
+                f"space:       {self.live_item_high_water} items high-water, "
+                f"{self.gc_collected} collected",
+                f"slips:       {self.slips}",
+            ]
+        )
+
+
+def summarize(
+    result: ExecutionResult,
+    warmup_fraction: float = 0.0,
+    procs: Optional[list[int]] = None,
+) -> ExecutionSummary:
+    """Compute every headline metric for one execution result."""
+    procs = procs if procs is not None else result.trace.processors()
+    return ExecutionSummary(
+        latency=latency_stats(result, warmup_fraction=warmup_fraction),
+        uniformity=uniformity_stats(result),
+        throughput=throughput_from_completions(
+            result.completion_sequence(), result.horizon
+        ),
+        utilization=result.trace.utilization(procs),
+        gc_collected=result.gc_collected,
+        live_item_high_water=result.live_item_high_water,
+        slips=int(result.meta.get("slips", 0)),
+    )

@@ -1,0 +1,82 @@
+"""Uniformity of frame processing.
+
+§1: "An execution that exhibits uniformity processes frames at a
+reasonably regular rate.  A non-uniform execution might process three
+frames in a row and then skip the next hundred frames."
+
+Two complementary views:
+
+* *coverage*: which digitized timestamps were fully processed — the gap
+  structure (max run of consecutive skipped frames) captures the paper's
+  "events that occur in the interval of unprocessed frames will go
+  unrecognized";
+* *regularity*: the coefficient of variation of result inter-arrival
+  times (0 = perfectly periodic).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.runtime.result import ExecutionResult
+
+__all__ = ["UniformityStats", "uniformity_stats"]
+
+
+@dataclass(frozen=True)
+class UniformityStats:
+    """Uniformity summary of one execution.
+
+    Attributes
+    ----------
+    processed / emitted:
+        Frames fully processed vs digitized.
+    max_gap:
+        Longest run of consecutive skipped timestamps.
+    mean_gap:
+        Mean number of skipped timestamps between processed ones.
+    interarrival_cv:
+        Coefficient of variation (stdev/mean) of result inter-arrival
+        times; 0 for a perfectly regular stream.
+    """
+
+    processed: int
+    emitted: int
+    max_gap: int
+    mean_gap: float
+    interarrival_cv: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of digitized frames fully processed."""
+        if self.emitted == 0:
+            return 0.0
+        return self.processed / self.emitted
+
+
+def uniformity_stats(result: ExecutionResult) -> UniformityStats:
+    """Compute uniformity statistics from an execution result."""
+    completed = result.completed
+    if not completed:
+        raise ExperimentError("no completed frames to measure uniformity over")
+    emitted = result.emitted
+    gaps = [b - a - 1 for a, b in zip(completed, completed[1:])]
+    max_gap = max(gaps, default=0)
+    mean_gap = statistics.mean(gaps) if gaps else 0.0
+
+    seq = result.completion_sequence()
+    if len(seq) >= 3:
+        inter = [b - a for a, b in zip(seq, seq[1:])]
+        mean_i = statistics.mean(inter)
+        cv = statistics.pstdev(inter) / mean_i if mean_i > 0 else 0.0
+    else:
+        cv = 0.0
+    return UniformityStats(
+        processed=len(completed),
+        emitted=emitted,
+        max_gap=max_gap,
+        mean_gap=mean_gap,
+        interarrival_cv=cv,
+    )

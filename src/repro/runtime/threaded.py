@@ -1,0 +1,211 @@
+"""The live runtime: real Python threads over thread-safe STM channels.
+
+Stampede's execution model — "each task is a POSIX thread" communicating
+through STM — run for real: every task becomes a Python thread, channels
+are :class:`~repro.stm.threaded.ThreadedChannel`, and each task's
+``compute`` kernel (real NumPy code for the tracker) actually executes.
+
+This runtime demonstrates the programming model end to end and powers the
+kernel-calibration path; it is *not* used for latency experiments, because
+the GIL makes wall-clock timing unrepresentative of an SMP (see
+DESIGN.md §2).  Frames are processed in order and the item count is known
+up front, so threads terminate naturally; :meth:`ThreadedRuntime.run`
+also poisons every channel on failure so no thread is left blocked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.graph.taskgraph import TaskGraph
+from repro.state import State
+from repro.stm.threaded import ChannelPoisoned, ThreadedChannel
+
+__all__ = ["ThreadedResult", "ThreadedRuntime"]
+
+
+@dataclass
+class ThreadedResult:
+    """What a live run produced.
+
+    Attributes
+    ----------
+    outputs:
+        ``{channel: {timestamp: value}}`` for every *terminal* channel
+        (streaming channels no task consumes — e.g. ``model_locations``).
+    wall_time:
+        Wall-clock seconds for the whole run.
+    channel_stats:
+        Per-channel put/get/consume/collected counters.
+    """
+
+    outputs: dict[str, dict[int, Any]]
+    wall_time: float
+    channel_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+class ThreadedRuntime:
+    """Run a task graph with real threads and real kernels.
+
+    Parameters
+    ----------
+    graph:
+        Validated task graph whose tasks carry ``compute`` kernels
+        (tasks without one pass their merged inputs through unchanged).
+    state:
+        Application state handed to every kernel.
+    static_inputs:
+        Values for static channels, e.g. ``{"color_model": models}``.
+    op_timeout:
+        Per-operation blocking timeout in seconds (keeps tests from
+        hanging on bugs).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        state: State,
+        static_inputs: Optional[dict[str, Any]] = None,
+        op_timeout: float = 60.0,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.state = state
+        self.static_inputs = dict(static_inputs or {})
+        self.op_timeout = op_timeout
+        for spec in graph.channels:
+            if spec.static and spec.name not in self.static_inputs:
+                raise ReproError(
+                    f"static channel {spec.name!r} needs a value in static_inputs"
+                )
+
+    def run(self, timestamps: int, source_period: float = 0.0) -> ThreadedResult:
+        """Process ``timestamps`` frames in order; returns terminal outputs.
+
+        ``source_period`` adds a real sleep between source firings (useful
+        for demos; keep 0.0 in tests).
+        """
+        if timestamps < 1:
+            raise ReproError(f"timestamps must be >= 1, got {timestamps}")
+        channels: dict[str, ThreadedChannel] = {
+            spec.name: ThreadedChannel(spec.name, capacity=spec.capacity)
+            for spec in self.graph.channels
+        }
+        # Static configuration channels are filled before any thread starts.
+        for name, value in self.static_inputs.items():
+            conn = channels[name].attach_output("-env-")
+            channels[name].put(conn, 0, value)
+
+        terminal = [
+            spec.name
+            for spec in self.graph.channels
+            if not spec.static and not self.graph.consumers(spec.name)
+            and self.graph.producers(spec.name)
+        ]
+        outputs: dict[str, dict[int, Any]] = {ch: {} for ch in terminal}
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def record_error(exc: BaseException) -> None:
+            with errors_lock:
+                errors.append(exc)
+            for ch in channels.values():
+                ch.poison()
+
+        # Attach every connection BEFORE any thread starts: reference-count
+        # GC considers only attached input connections, so a consumer that
+        # attached late could find its items already collected.
+        conns_in = {
+            t.name: {ch: channels[ch].attach_input(t.name) for ch in t.inputs}
+            for t in self.graph.tasks
+        }
+        conns_out = {
+            t.name: {ch: channels[ch].attach_output(t.name) for ch in t.outputs}
+            for t in self.graph.tasks
+        }
+        collector_conns = {ch: channels[ch].attach_input("-collector-") for ch in terminal}
+
+        def task_body(task) -> None:
+            try:
+                ins = conns_in[task.name]
+                outs = conns_out[task.name]
+                statics = {
+                    ch: channels[ch].get(ins[ch], 0, timeout=self.op_timeout)[1]
+                    for ch in task.inputs
+                    if self.graph.channel(ch).static
+                }
+                for ts in range(timestamps):
+                    if task.is_source and source_period > 0:
+                        _time.sleep(source_period)
+                    inputs = dict(statics)
+                    for ch in task.inputs:
+                        if self.graph.channel(ch).static:
+                            continue
+                        _, value = channels[ch].get(ins[ch], ts, timeout=self.op_timeout)
+                        inputs[ch] = value
+                    if task.compute is not None:
+                        result = task.compute(self.state, inputs)
+                        if not isinstance(result, dict):
+                            raise ReproError(
+                                f"kernel of {task.name!r} returned "
+                                f"{type(result).__name__}, expected dict"
+                            )
+                    else:
+                        result = {ch: inputs for ch in task.outputs}
+                    for ch in task.outputs:
+                        if ch not in result:
+                            raise ReproError(
+                                f"kernel of {task.name!r} produced no value for "
+                                f"channel {ch!r}"
+                            )
+                        channels[ch].put(outs[ch], ts, result[ch], timeout=self.op_timeout)
+                    for ch in task.inputs:
+                        if not self.graph.channel(ch).static:
+                            channels[ch].consume(ins[ch], ts)
+            except ChannelPoisoned:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                record_error(exc)
+
+        def collector_body(ch_name: str) -> None:
+            try:
+                conn = collector_conns[ch_name]
+                for ts in range(timestamps):
+                    got_ts, value = channels[ch_name].get(conn, ts, timeout=self.op_timeout)
+                    outputs[ch_name][got_ts] = value
+                    channels[ch_name].consume(conn, got_ts)
+            except ChannelPoisoned:
+                pass
+            except BaseException as exc:  # noqa: BLE001
+                record_error(exc)
+
+        threads = [
+            threading.Thread(target=task_body, args=(t,), name=f"task:{t.name}", daemon=True)
+            for t in self.graph.tasks
+        ]
+        threads += [
+            threading.Thread(target=collector_body, args=(ch,), name=f"collect:{ch}", daemon=True)
+            for ch in terminal
+        ]
+        t0 = _time.perf_counter()
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join(timeout=self.op_timeout * (timestamps + 2))
+        wall = _time.perf_counter() - t0
+        alive = [th.name for th in threads if th.is_alive()]
+        if alive:
+            for ch in channels.values():
+                ch.poison()
+            raise ReproError(f"threads did not finish: {alive}")
+        if errors:
+            raise errors[0]
+        return ThreadedResult(
+            outputs=outputs,
+            wall_time=wall,
+            channel_stats={name: ch.stats for name, ch in channels.items()},
+        )

@@ -1,0 +1,114 @@
+"""A HEFT-style static list scheduler — the heuristic alternative.
+
+§3.4 notes the regime-switching framework is "totally orthogonal to the
+approach to determining a good schedule for a single state ... whether the
+schedules for each state were chosen optimally, via heuristics or via
+hand-tuning."  This module is that heuristic option: classic
+upward-rank list scheduling (HEFT) extended with the task's data-parallel
+variants, producing a legal :class:`~repro.core.schedule.IterationSchedule`
+quickly but without optimality guarantees.
+
+Used as a comparison point in the benchmarks (how close does the heuristic
+get to the exhaustive optimum, and how much cheaper is it?).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schedule import IterationSchedule, Placement
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommModel
+from repro.state import State
+
+__all__ = ["list_schedule"]
+
+
+def list_schedule(
+    graph: TaskGraph,
+    state: State,
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    max_workers: Optional[int] = None,
+) -> IterationSchedule:
+    """Greedy earliest-finish-time schedule with upward-rank priorities."""
+    graph.validate()
+    if comm is None:
+        comm = CommModel.free(cluster)
+    dp_cap = max_workers if max_workers is not None else cluster.procs_per_node
+
+    # Upward rank on best-variant durations (mean comm is folded into rank
+    # via the worst-case tier, a standard HEFT simplification).
+    names = graph.topo_order()
+    best_dur = {
+        n: graph.task(n).best_variant(state, dp_cap).duration for n in names
+    }
+    rank: dict[str, float] = {}
+    for n in reversed(names):
+        tail = 0.0
+        for s in graph.successors(n):
+            nbytes = graph.comm_bytes(n, s, state)
+            tail = max(tail, comm.worst_case(nbytes) + rank[s])
+        rank[n] = best_dur[n] + tail
+
+    order = sorted(names, key=lambda n: (-rank[n], n))
+    # Respect precedence: stable-insert any task after its predecessors.
+    placed_order: list[str] = []
+    remaining = list(order)
+    while remaining:
+        for i, n in enumerate(remaining):
+            if all(p in placed_order for p in graph.predecessors(n)):
+                placed_order.append(n)
+                del remaining[i]
+                break
+        else:  # pragma: no cover - graph.validate() excludes cycles
+            raise AssertionError("no ready task; graph has a cycle?")
+
+    free = [0.0] * cluster.total_processors
+    node_procs = {
+        nd: [p.index for p in cluster.node_processors(nd)] for nd in range(cluster.nodes)
+    }
+    placements: dict[str, Placement] = {}
+
+    for n in placed_order:
+        task = graph.task(n)
+        pred_primaries = sorted(
+            {placements[p].primary for p in graph.predecessors(n)}
+        )
+        best: Optional[Placement] = None
+        for var in task.variants(state, dp_cap):
+            if var.workers > cluster.procs_per_node:
+                continue
+            for nd in range(cluster.nodes):
+                procs_here = sorted(node_procs[nd], key=lambda p: (free[p], p))
+                if var.workers > len(procs_here):
+                    continue
+                # Earliest-free processors, plus (for serial placements)
+                # each predecessor's own processor — the free same-proc
+                # transfer can beat earlier availability.
+                choices = [tuple(procs_here[: var.workers])]
+                if var.workers == 1:
+                    for pp in pred_primaries:
+                        if pp in node_procs[nd] and (pp,) not in choices:
+                            choices.append((pp,))
+                for chosen in choices:
+                    dur = var.duration / cluster.node_speeds[nd]
+                    est = max((free[p] for p in chosen), default=0.0)
+                    for pred in graph.predecessors(n):
+                        pp = placements[pred]
+                        delay = comm.transfer_time(
+                            graph.comm_bytes(pred, n, state), pp.primary, chosen[0]
+                        )
+                        est = max(est, pp.end + delay)
+                    cand = Placement(n, chosen, est, dur, variant=var.label)
+                    if best is None or cand.end < best.end - 1e-12:
+                        best = cand
+        assert best is not None
+        placements[n] = best
+        for p in best.procs:
+            free[p] = best.end
+
+    sched = IterationSchedule(placements.values(), name="heft")
+    sched.validate(graph, state, cluster, comm)
+    return sched

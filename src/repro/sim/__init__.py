@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates on a cluster of four AlphaServer 4100 SMPs.  We do not
+have that hardware (nor would wall-clock Python threading be faithful to it,
+given the GIL), so the entire evaluation runs on this deterministic
+discrete-event simulator:
+
+* :mod:`repro.sim.engine` — event queue, simulated clock, generator-based
+  processes (a minimal, dependency-free simpy-like kernel).
+* :mod:`repro.sim.resources` — capacity-limited resources (processors) and
+  blocking stores (queues).
+* :mod:`repro.sim.cluster` — the cluster shape: nodes, processors per node,
+  relative processor speeds.
+* :mod:`repro.sim.network` — communication cost model distinguishing
+  same-processor, intra-node (shared memory) and inter-node (network)
+  transfers.
+* :mod:`repro.sim.trace` — execution traces: Gantt spans and per-timestamp
+  latency bookkeeping, consumed by metrics and figures.
+"""
+
+from repro.sim.engine import Simulator, Process, SimEvent, Timeout, Interrupt
+from repro.sim.resources import Resource, Store
+from repro.sim.cluster import ClusterSpec, Processor
+from repro.sim.network import CommModel, CommCost
+from repro.sim.trace import TraceRecorder, ExecSpan, ItemEvent
+from repro.sim.fabric import LinkFabric
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimEvent",
+    "Timeout",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "ClusterSpec",
+    "Processor",
+    "CommModel",
+    "CommCost",
+    "TraceRecorder",
+    "ExecSpan",
+    "ItemEvent",
+    "LinkFabric",
+]

@@ -1,0 +1,159 @@
+"""Cluster shape: nodes, processors, relative speeds.
+
+The paper's platform is ``4 nodes x 4 processors`` (AlphaServer 4100s with
+four 400 MHz Alphas each).  :class:`ClusterSpec` captures exactly the inputs
+the Figure 6 algorithm needs — "the number of nodes and the number of
+processors within each node" — plus an optional per-node speed factor used
+by heterogeneity ablations.
+
+Processors are identified by a dense global index ``0..P-1``;
+:class:`Processor` carries the (node, slot) decomposition so schedulers can
+reason about locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ClusterError
+
+__all__ = ["Processor", "ClusterSpec", "STAMPEDE_CLUSTER", "SINGLE_NODE_SMP"]
+
+
+@dataclass(frozen=True, order=True)
+class Processor:
+    """One processor in the cluster.
+
+    Attributes
+    ----------
+    index:
+        Dense global index in ``0..P-1``; the canonical identity.
+    node:
+        Index of the SMP node this processor lives in.
+    slot:
+        Index of the processor within its node.
+    speed:
+        Relative speed factor (1.0 = nominal).  A task whose nominal cost is
+        ``c`` runs in ``c / speed`` on this processor.
+    """
+
+    index: int
+    node: int
+    slot: int
+    speed: float = 1.0
+
+    def __str__(self) -> str:
+        return f"P{self.index}(n{self.node}.{self.slot})"
+
+
+class ClusterSpec:
+    """Description of an SMP cluster.
+
+    Parameters
+    ----------
+    nodes:
+        Number of SMP nodes.
+    procs_per_node:
+        Processors in each node (uniform).
+    node_speeds:
+        Optional per-node relative speed factors (defaults to all 1.0).
+
+    >>> c = ClusterSpec(nodes=2, procs_per_node=2)
+    >>> [str(p) for p in c.processors]
+    ['P0(n0.0)', 'P1(n0.1)', 'P2(n1.0)', 'P3(n1.1)']
+    >>> c.same_node(0, 1), c.same_node(1, 2)
+    (True, False)
+    """
+
+    def __init__(
+        self,
+        nodes: int,
+        procs_per_node: int,
+        node_speeds: Sequence[float] | None = None,
+    ) -> None:
+        if nodes < 1:
+            raise ClusterError(f"cluster needs >= 1 node, got {nodes}")
+        if procs_per_node < 1:
+            raise ClusterError(f"cluster needs >= 1 proc per node, got {procs_per_node}")
+        if node_speeds is None:
+            node_speeds = [1.0] * nodes
+        if len(node_speeds) != nodes:
+            raise ClusterError(
+                f"node_speeds has {len(node_speeds)} entries for {nodes} nodes"
+            )
+        if any(s <= 0 for s in node_speeds):
+            raise ClusterError("node speeds must be positive")
+        self.nodes = nodes
+        self.procs_per_node = procs_per_node
+        self.node_speeds = tuple(float(s) for s in node_speeds)
+        self.processors: tuple[Processor, ...] = tuple(
+            Processor(
+                index=n * procs_per_node + s,
+                node=n,
+                slot=s,
+                speed=self.node_speeds[n],
+            )
+            for n in range(nodes)
+            for s in range(procs_per_node)
+        )
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def total_processors(self) -> int:
+        """Total processor count across all nodes."""
+        return self.nodes * self.procs_per_node
+
+    def __len__(self) -> int:
+        return self.total_processors
+
+    def __iter__(self) -> Iterator[Processor]:
+        return iter(self.processors)
+
+    def processor(self, index: int) -> Processor:
+        """The :class:`Processor` with global index ``index``."""
+        if not 0 <= index < self.total_processors:
+            raise ClusterError(
+                f"processor index {index} out of range 0..{self.total_processors - 1}"
+            )
+        return self.processors[index]
+
+    def node_of(self, index: int) -> int:
+        """Node index of processor ``index``."""
+        return self.processor(index).node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True if processors ``a`` and ``b`` share an SMP node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def node_processors(self, node: int) -> tuple[Processor, ...]:
+        """All processors belonging to ``node``."""
+        if not 0 <= node < self.nodes:
+            raise ClusterError(f"node index {node} out of range 0..{self.nodes - 1}")
+        lo = node * self.procs_per_node
+        return self.processors[lo : lo + self.procs_per_node]
+
+    def __repr__(self) -> str:
+        return f"ClusterSpec(nodes={self.nodes}, procs_per_node={self.procs_per_node})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ClusterSpec)
+            and self.nodes == other.nodes
+            and self.procs_per_node == other.procs_per_node
+            and self.node_speeds == other.node_speeds
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.procs_per_node, self.node_speeds))
+
+
+def STAMPEDE_CLUSTER() -> ClusterSpec:
+    """The paper's platform: 4 AlphaServer 4100 nodes x 4 processors."""
+    return ClusterSpec(nodes=4, procs_per_node=4)
+
+
+def SINGLE_NODE_SMP(procs: int = 4) -> ClusterSpec:
+    """A single SMP node — the configuration of most paper experiments."""
+    return ClusterSpec(nodes=1, procs_per_node=procs)

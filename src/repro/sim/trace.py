@@ -1,0 +1,195 @@
+"""Execution traces: the raw material for every figure and metric.
+
+A :class:`TraceRecorder` accumulates two kinds of records while the runtime
+executes a task graph:
+
+* :class:`ExecSpan` — "processor *p* ran task *t* for timestamp *ts* from
+  *start* to *end*".  Figures 4 and 5 in the paper are exactly plots of
+  these spans; latency and uniformity metrics are derived from them.
+* :class:`ItemEvent` — puts/gets/consumes on STM channels, used for flow
+  analysis and to verify that static schedules imply correct flow control.
+
+The recorder is deliberately dumb — append-only lists plus indexed views —
+so the runtime stays fast and analysis code owns all the interpretation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["ExecSpan", "ItemEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class ExecSpan:
+    """One contiguous stretch of a task executing on a processor.
+
+    ``timestamp`` is the stream timestamp (iteration number) being
+    processed; ``chunk`` distinguishes data-parallel chunks of one task
+    instance (None for non-decomposed execution).  ``preempted`` marks spans
+    that ended because the scheduler preempted the thread rather than
+    because the work finished — the paper's §3.2 "partial processing of
+    items" pathology is visible as preempted spans.
+    """
+
+    proc: int
+    task: str
+    timestamp: int
+    start: float
+    end: float
+    chunk: Optional[int] = None
+    preempted: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+    def overlaps(self, other: "ExecSpan") -> bool:
+        """True if the two spans overlap in time (exclusive of endpoints)."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class ItemEvent:
+    """A put/get/consume on a channel, with the acting task and timestamp."""
+
+    time: float
+    channel: str
+    kind: str  # "put" | "get" | "consume" | "gc"
+    timestamp: int
+    task: str = ""
+
+
+class TraceRecorder:
+    """Append-only trace of an execution, with indexed read views."""
+
+    def __init__(self) -> None:
+        self.spans: list[ExecSpan] = []
+        self.items: list[ItemEvent] = []
+        self._by_proc: dict[int, list[ExecSpan]] = defaultdict(list)
+        self._by_task: dict[str, list[ExecSpan]] = defaultdict(list)
+        self._by_ts: dict[int, list[ExecSpan]] = defaultdict(list)
+
+    # -- recording --------------------------------------------------------
+
+    def record_span(self, span: ExecSpan) -> None:
+        """Append one execution span (must have ``end >= start``)."""
+        if span.end < span.start:
+            raise ValueError(f"span ends before it starts: {span}")
+        self.spans.append(span)
+        self._by_proc[span.proc].append(span)
+        self._by_task[span.task].append(span)
+        self._by_ts[span.timestamp].append(span)
+
+    def record_item(self, event: ItemEvent) -> None:
+        """Append one channel item event."""
+        self.items.append(event)
+
+    # -- views ---------------------------------------------------------------
+
+    def spans_on(self, proc: int) -> list[ExecSpan]:
+        """Spans executed on processor ``proc`` in recording order."""
+        return list(self._by_proc.get(proc, ()))
+
+    def spans_of(self, task: str) -> list[ExecSpan]:
+        """Spans of task ``task`` in recording order."""
+        return list(self._by_task.get(task, ()))
+
+    def spans_for_timestamp(self, ts: int) -> list[ExecSpan]:
+        """Spans processing stream timestamp ``ts``."""
+        return list(self._by_ts.get(ts, ()))
+
+    def timestamps(self) -> list[int]:
+        """Sorted list of stream timestamps that have any recorded span."""
+        return sorted(self._by_ts)
+
+    def processors(self) -> list[int]:
+        """Sorted list of processors that executed anything."""
+        return sorted(self._by_proc)
+
+    def tasks(self) -> list[str]:
+        """Sorted list of task names that executed anything."""
+        return sorted(self._by_task)
+
+    @property
+    def makespan(self) -> float:
+        """End time of the last span (0.0 for an empty trace)."""
+        return max((s.end for s in self.spans), default=0.0)
+
+    # -- per-timestamp completion ------------------------------------------------
+
+    def completion_time(self, ts: int, sink_tasks: Iterable[str] | None = None) -> Optional[float]:
+        """When processing of stream timestamp ``ts`` finished.
+
+        With ``sink_tasks`` given, completion requires a span from each sink
+        task (the paper measures latency to "reading all of its detected
+        target locations", i.e. to the final task).  Returns None if ``ts``
+        never completed.
+        """
+        spans = self._by_ts.get(ts)
+        if not spans:
+            return None
+        if sink_tasks is None:
+            return max(s.end for s in spans)
+        sinks = set(sink_tasks)
+        ends: list[float] = []
+        for sink in sinks:
+            sink_spans = [s for s in spans if s.task == sink and not s.preempted]
+            if not sink_spans:
+                return None
+            ends.append(max(s.end for s in sink_spans))
+        return max(ends)
+
+    def start_time(self, ts: int, source_tasks: Iterable[str] | None = None) -> Optional[float]:
+        """When processing of stream timestamp ``ts`` began."""
+        spans = self._by_ts.get(ts)
+        if not spans:
+            return None
+        if source_tasks is None:
+            return min(s.start for s in spans)
+        sources = set(source_tasks)
+        starts = [s.start for s in spans if s.task in sources]
+        return min(starts) if starts else None
+
+    def completed_timestamps(self, sink_tasks: Iterable[str] | None = None) -> list[int]:
+        """Stream timestamps that ran to completion, sorted."""
+        sinks = list(sink_tasks) if sink_tasks is not None else None
+        return [ts for ts in self.timestamps() if self.completion_time(ts, sinks) is not None]
+
+    # -- busy/idle accounting ----------------------------------------------------
+
+    def busy_time(self, proc: int, until: Optional[float] = None) -> float:
+        """Total busy seconds on ``proc`` (clipped to ``until`` if given)."""
+        total = 0.0
+        for s in self._by_proc.get(proc, ()):
+            end = s.end if until is None else min(s.end, until)
+            if end > s.start:
+                total += end - s.start
+        return total
+
+    def utilization(self, procs: Iterable[int], until: Optional[float] = None) -> float:
+        """Mean fraction of time the given processors were busy."""
+        procs = list(procs)
+        if not procs:
+            return 0.0
+        horizon = until if until is not None else self.makespan
+        if horizon <= 0:
+            return 0.0
+        return sum(self.busy_time(p, horizon) for p in procs) / (horizon * len(procs))
+
+    def clear(self) -> None:
+        """Drop all recorded data."""
+        self.spans.clear()
+        self.items.clear()
+        self._by_proc.clear()
+        self._by_task.clear()
+        self._by_ts.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceRecorder spans={len(self.spans)} items={len(self.items)}>"

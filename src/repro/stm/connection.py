@@ -1,0 +1,101 @@
+"""Connections: the attach/detach handles of the STM API.
+
+A task "names the various channels it touches and designates them as input
+or output channels (from the perspective of this task)".  A
+:class:`Connection` is one such designation.  Input connections carry a
+*virtual time*: the channel guarantees items at or below a connection's
+virtual time minus one are no longer needed by it, which is what makes
+reference-count GC safe.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.errors import ConnectionError_
+
+__all__ = ["Direction", "Connection"]
+
+_conn_ids = itertools.count(1)
+
+
+class Direction(enum.Enum):
+    """Whether a connection reads from or writes to its channel."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class Connection:
+    """A task's attachment to a channel.
+
+    Attributes
+    ----------
+    conn_id:
+        Process-unique integer identity.
+    task:
+        Name of the owning task (informational; used in traces).
+    direction:
+        :class:`Direction` of data flow from the task's perspective.
+    virtual_time:
+        For input connections: all timestamps strictly below this value are
+        guaranteed consumed.  Starts at 0 (nothing consumed).
+    last_gotten:
+        Timestamp of the most recent item retrieved over this connection
+        (None before the first get) — supports rate-decoupled consumers
+        that "restrict processing to only the most recent data".
+    """
+
+    __slots__ = ("conn_id", "task", "direction", "virtual_time", "last_gotten", "attached")
+
+    def __init__(self, task: str, direction: Direction) -> None:
+        self.conn_id: int = next(_conn_ids)
+        self.task = task
+        self.direction = direction
+        self.virtual_time: int = 0
+        self.last_gotten: Optional[int] = None
+        self.attached = True
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is Direction.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is Direction.OUTPUT
+
+    def require_attached(self) -> None:
+        """Raise if the connection has been detached."""
+        if not self.attached:
+            raise ConnectionError_(
+                f"connection {self.conn_id} of task {self.task!r} is detached"
+            )
+
+    def require_input(self) -> None:
+        """Raise unless this is an attached input connection."""
+        self.require_attached()
+        if not self.is_input:
+            raise ConnectionError_(
+                f"task {self.task!r} tried to read over an output connection"
+            )
+
+    def require_output(self) -> None:
+        """Raise unless this is an attached output connection."""
+        self.require_attached()
+        if not self.is_output:
+            raise ConnectionError_(
+                f"task {self.task!r} tried to write over an input connection"
+            )
+
+    def advance_virtual_time(self, ts: int) -> None:
+        """Declare all timestamps < ``ts`` consumed (monotone)."""
+        if ts > self.virtual_time:
+            self.virtual_time = ts
+
+    def __repr__(self) -> str:
+        return (
+            f"Connection(id={self.conn_id}, task={self.task!r}, "
+            f"{self.direction.value}, vt={self.virtual_time})"
+        )

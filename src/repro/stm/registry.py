@@ -1,0 +1,91 @@
+"""Cluster-wide channel namespace with location tags.
+
+Stampede's channels are "location independent": two tasks "communicate
+over a channel via the same mechanism regardless of whether the tasks are
+on the same SMP in a cluster or on different nodes".  The registry provides
+that namespace and, because location independence is about the *API* and
+not the *cost*, records which node homes each channel so the simulated
+runtime can charge the right communication tier for each put/get.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DuplicateNameError, STMError, UnknownNameError
+from repro.graph.taskgraph import TaskGraph
+from repro.stm.channel import STMChannel
+
+__all__ = ["STMRegistry"]
+
+
+class STMRegistry:
+    """All channels of one application instance.
+
+    Parameters
+    ----------
+    nodes:
+        Number of cluster nodes (for home-node validation); defaults to 1.
+    """
+
+    def __init__(self, nodes: int = 1) -> None:
+        if nodes < 1:
+            raise STMError(f"registry needs >= 1 node, got {nodes}")
+        self.nodes = nodes
+        self._channels: dict[str, STMChannel] = {}
+        self._homes: dict[str, int] = {}
+
+    def create(
+        self, name: str, capacity: Optional[int] = None, home_node: int = 0
+    ) -> STMChannel:
+        """Create and register a channel homed on ``home_node``."""
+        if name in self._channels:
+            raise DuplicateNameError(f"channel {name!r} already exists")
+        if not 0 <= home_node < self.nodes:
+            raise STMError(f"home node {home_node} out of range 0..{self.nodes - 1}")
+        ch = STMChannel(name, capacity=capacity)
+        self._channels[name] = ch
+        self._homes[name] = home_node
+        return ch
+
+    @classmethod
+    def from_graph(cls, graph: TaskGraph, nodes: int = 1) -> "STMRegistry":
+        """Instantiate every channel a task graph declares."""
+        reg = cls(nodes=nodes)
+        for spec in graph.channels:
+            reg.create(spec.name, capacity=spec.capacity)
+        return reg
+
+    def channel(self, name: str) -> STMChannel:
+        """Look up a channel by name."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise UnknownNameError(f"no channel named {name!r}") from None
+
+    def home_node(self, name: str) -> int:
+        """Node that homes channel ``name``."""
+        self.channel(name)
+        return self._homes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    @property
+    def channels(self) -> list[STMChannel]:
+        """All channels in creation order."""
+        return list(self._channels.values())
+
+    def live_bytes(self) -> int:
+        """Total live bytes across all channels (space-footprint metric)."""
+        return sum(ch.live_bytes() for ch in self._channels.values())
+
+    def live_items(self) -> int:
+        """Total live items across all channels."""
+        return sum(len(ch) for ch in self._channels.values())
+
+    def __repr__(self) -> str:
+        return f"STMRegistry({len(self._channels)} channels, nodes={self.nodes})"

@@ -1,0 +1,163 @@
+"""Thread-safe blocking STM channel for the live (real-thread) runtime.
+
+Stampede threads are "dynamic Posix threads"; our live runtime uses Python
+threads.  :class:`ThreadedChannel` wraps :class:`~repro.stm.channel.STMChannel`
+with a condition variable so that
+
+* ``get`` blocks until an item satisfying the request exists,
+* ``put`` blocks while the channel is at capacity,
+* ``poison`` wakes all blocked threads with :class:`ChannelPoisoned`
+  (end-of-stream shutdown), and
+* garbage collection runs opportunistically after each consume.
+
+Timeouts are supported on both operations so tests never hang.
+
+Note on fidelity: the GIL serializes Python bytecode, so wall-clock
+latencies measured through this runtime do not model a real SMP — that is
+what :mod:`repro.sim` is for.  The threaded runtime exists to demonstrate
+the API under genuine concurrency and to run the tracker kernels (which
+release the GIL inside NumPy) end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.errors import ItemUnavailable, STMError
+from repro.stm.channel import STMChannel, Timestamp
+from repro.stm.connection import Connection
+from repro.stm.gc import GCStats, collect_channel
+
+__all__ = ["ChannelPoisoned", "ThreadedChannel"]
+
+
+class ChannelPoisoned(STMError):
+    """Raised in blocked threads when a channel is poisoned (shutdown)."""
+
+
+class ThreadedChannel:
+    """Blocking wrapper around one STM channel.
+
+    All methods are thread-safe.  The wrapped synchronous channel is not
+    exposed for mutation; inspection helpers proxy through the lock.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None) -> None:
+        self._chan = STMChannel(name, capacity=capacity)
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._poisoned = False
+        self.gc_stats = GCStats()
+
+    @property
+    def name(self) -> str:
+        return self._chan.name
+
+    # -- attachment (thread-safe) -------------------------------------------
+
+    def attach_input(self, task: str) -> Connection:
+        with self._lock:
+            return self._chan.attach_input(task)
+
+    def attach_output(self, task: str) -> Connection:
+        with self._lock:
+            return self._chan.attach_output(task)
+
+    def detach(self, conn: Connection) -> None:
+        with self._changed:
+            self._chan.detach(conn)
+            self._changed.notify_all()
+
+    # -- blocking API ----------------------------------------------------------
+
+    def put(
+        self,
+        conn: Connection,
+        ts: int,
+        value: Any,
+        size: int = 0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Insert an item, blocking while the channel is at capacity."""
+        with self._changed:
+            while True:
+                if self._poisoned:
+                    raise ChannelPoisoned(f"channel {self.name!r} poisoned")
+                if not self._chan.is_full:
+                    self._chan.put(conn, ts, value, size=size)
+                    self._changed.notify_all()
+                    return
+                if not self._changed.wait(timeout):
+                    raise TimeoutError(
+                        f"put to {self.name!r} timed out after {timeout}s (full)"
+                    )
+
+    def get(
+        self,
+        conn: Connection,
+        ts: Timestamp,
+        timeout: Optional[float] = None,
+    ) -> tuple[int, Any]:
+        """Retrieve ``(timestamp, value)``, blocking until available."""
+        with self._changed:
+            while True:
+                if self._poisoned:
+                    raise ChannelPoisoned(f"channel {self.name!r} poisoned")
+                try:
+                    return self._chan.get(conn, ts)
+                except ItemUnavailable:
+                    if not self._changed.wait(timeout):
+                        raise TimeoutError(
+                            f"get from {self.name!r} timed out after {timeout}s"
+                        ) from None
+
+    def try_get(self, conn: Connection, ts: Timestamp) -> Optional[tuple[int, Any]]:
+        """Non-blocking get: None on a miss."""
+        with self._lock:
+            try:
+                return self._chan.get(conn, ts)
+            except ItemUnavailable:
+                return None
+
+    def consume(self, conn: Connection, ts: int) -> None:
+        """Mark ``ts`` consumed and garbage-collect; wakes blocked putters."""
+        with self._changed:
+            self._chan.consume(conn, ts)
+            collect_channel(self._chan, self.gc_stats)
+            self._changed.notify_all()
+
+    def poison(self) -> None:
+        """Wake every blocked thread with :class:`ChannelPoisoned`."""
+        with self._changed:
+            self._poisoned = True
+            self._chan.close()
+            self._changed.notify_all()
+
+    # -- inspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._chan)
+
+    def newest_timestamp(self) -> Optional[int]:
+        with self._lock:
+            return self._chan.newest_timestamp()
+
+    def live_bytes(self) -> int:
+        with self._lock:
+            return self._chan.live_bytes()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot: puts/gets/consumed/collected."""
+        with self._lock:
+            return {
+                "puts": self._chan.total_puts,
+                "gets": self._chan.total_gets,
+                "consumed": self._chan.total_consumed,
+                "collected": self._chan.total_collected,
+            }
+
+    def __repr__(self) -> str:
+        return f"ThreadedChannel({self.name!r})"

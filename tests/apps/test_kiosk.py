@@ -1,0 +1,166 @@
+"""Unit tests for the kiosk environment and the tracker/surveillance graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kiosk import KioskEnvironment
+from repro.apps.surveillance import build_surveillance_graph, surveillance_states
+from repro.apps.tracker.graph import PAPER_COSTS, TRACKER_STATES, build_tracker_graph
+from repro.errors import ReproError
+from repro.state import State
+
+
+class TestKioskTrace:
+    def test_intervals_tile_the_horizon(self):
+        env = KioskEnvironment(seed=1)
+        intervals = env.trace(600.0)
+        assert intervals[0].start == 0.0
+        assert intervals[-1].end == pytest.approx(600.0)
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.end == pytest.approx(b.start)
+
+    def test_adjacent_intervals_differ(self):
+        env = KioskEnvironment(seed=1)
+        intervals = env.trace(3600.0)
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.n_people != b.n_people
+
+    def test_occupancy_clamped(self):
+        env = KioskEnvironment(
+            arrival_rate=1.0, mean_dwell=2.0, min_people=1, max_people=5, seed=2
+        )
+        for iv in env.trace(600.0):
+            assert 1 <= iv.n_people <= 5
+
+    def test_deterministic(self):
+        a = KioskEnvironment(seed=9).trace(1000.0)
+        b = KioskEnvironment(seed=9).trace(1000.0)
+        assert a == b
+
+    def test_faster_churn_means_more_changes(self):
+        slow = KioskEnvironment(arrival_rate=1 / 300, mean_dwell=600, seed=3)
+        fast = KioskEnvironment(arrival_rate=1 / 10, mean_dwell=20, seed=3)
+        assert fast.change_count(3600.0) > slow.change_count(3600.0)
+
+    def test_interval_state(self):
+        env = KioskEnvironment(seed=1)
+        iv = env.trace(100.0)[0]
+        assert iv.state() == State(n_models=iv.n_people)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ReproError):
+            KioskEnvironment(arrival_rate=0)
+        with pytest.raises(ReproError):
+            KioskEnvironment(min_people=3, max_people=2)
+        with pytest.raises(ReproError):
+            KioskEnvironment().trace(0.0)
+        with pytest.raises(ReproError):
+            KioskEnvironment(max_people=3).trace(10.0, initial=7)
+
+
+class TestObservations:
+    def test_clean_observations_match_trace(self):
+        env = KioskEnvironment(seed=4)
+        intervals = env.trace(300.0)
+
+        def truth_at(t):
+            for iv in intervals:
+                if iv.start <= t < iv.end:
+                    return iv.n_people
+            return intervals[-1].n_people
+
+        for t, obs in env.observations(300.0, frame_period=5.0):
+            assert obs == truth_at(t)
+
+    def test_noise_stays_in_range(self):
+        env = KioskEnvironment(seed=5, min_people=1, max_people=5)
+        for _, obs in env.observations(300.0, frame_period=1.0, noise_prob=0.5):
+            assert 1 <= obs <= 5
+
+    def test_noisy_observations_deterministic(self):
+        env = KioskEnvironment(seed=6)
+        a = list(env.observations(100.0, 1.0, noise_prob=0.3))
+        b = list(env.observations(100.0, 1.0, noise_prob=0.3))
+        assert a == b
+
+    def test_invalid_params(self):
+        env = KioskEnvironment()
+        with pytest.raises(ReproError):
+            list(env.observations(10.0, frame_period=0))
+        with pytest.raises(ReproError):
+            list(env.observations(10.0, 1.0, noise_prob=1.5))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_trace_well_formed_for_any_seed(self, seed):
+        env = KioskEnvironment(seed=seed, arrival_rate=1 / 30, mean_dwell=60)
+        intervals = env.trace(900.0)
+        assert intervals[-1].end == pytest.approx(900.0)
+        assert all(iv.duration > 0 for iv in intervals)
+        assert all(1 <= iv.n_people <= 5 for iv in intervals)
+
+
+class TestTrackerGraphCosts:
+    def test_paper_costs_hit_table1_endpoints(self, m1, m8):
+        t4 = PAPER_COSTS["T4"]
+        assert t4(m1) == pytest.approx(0.876, rel=0.01)
+        assert t4(m8) == pytest.approx(6.85, rel=0.01)
+
+    def test_t1_t2_t3_state_independent(self, m1, m8):
+        for name in ("T1", "T2", "T3"):
+            assert PAPER_COSTS[name](m1) == PAPER_COSTS[name](m8)
+
+    def test_t4_slope_much_larger_than_t5(self, m1, m8):
+        t4_slope = PAPER_COSTS["T4"](m8) - PAPER_COSTS["T4"](m1)
+        t5_slope = PAPER_COSTS["T5"](m8) - PAPER_COSTS["T5"](m1)
+        assert t4_slope > 10 * t5_slope
+
+    def test_states_cover_table1(self):
+        assert State(n_models=1) in TRACKER_STATES
+        assert State(n_models=8) in TRACKER_STATES
+
+    def test_channel_sizes_positive(self, tracker_graph, m8):
+        for name in ("frame", "motion_mask", "histogram", "back_projections"):
+            assert tracker_graph.channel(name).item_size(m8) > 0
+
+    def test_digitizer_period_plumbed(self):
+        g = build_tracker_graph(digitizer_period=0.25)
+        assert g.task("T1").period == 0.25
+
+
+class TestSurveillanceGraph:
+    def test_structure(self):
+        g = build_surveillance_graph(3)
+        assert len(g.tasks) == 3 * 3 + 2
+        assert set(g.predecessors("fuse")) == {"detect0", "detect1", "detect2"}
+        assert g.successors("fuse") == ["alarm"]
+        g.validate()
+
+    def test_costs_track_active_cameras(self):
+        g = build_surveillance_graph(4)
+        active2 = State(n_cameras=2)
+        assert g.task("detect0").cost(active2) == pytest.approx(0.45)
+        assert g.task("detect3").cost(active2) == pytest.approx(0.001)
+
+    def test_fuse_linear_in_cameras(self):
+        g = build_surveillance_graph(4)
+        f1 = g.task("fuse").cost(State(n_cameras=1))
+        f4 = g.task("fuse").cost(State(n_cameras=4))
+        assert f4 > f1
+
+    def test_states(self):
+        assert len(surveillance_states(4)) == 4
+
+    def test_optimal_schedulable(self):
+        """The same Figure 6 machinery schedules the second application."""
+        from repro.core.optimal import OptimalScheduler
+        from repro.sim.cluster import ClusterSpec
+
+        g = build_surveillance_graph(2)
+        sol = OptimalScheduler(ClusterSpec(1, 2), node_limit=2_000_000).solve(
+            g, State(n_cameras=2)
+        )
+        sol.iteration.validate(g, State(n_cameras=2), ClusterSpec(1, 2))
+        assert sol.latency > 0

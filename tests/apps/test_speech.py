@@ -1,0 +1,76 @@
+"""Unit tests for the speech application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.speech import SPEECH_COSTS, build_speech_graph, speech_states
+from repro.core.optimal import OptimalScheduler
+from repro.core.table import ScheduleTable
+from repro.errors import GraphError
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+
+class TestSpeechGraph:
+    def test_structure(self):
+        g = build_speech_graph()
+        assert g.topo_order() == [
+            "microphone", "vad", "features", "decoder", "dialogue"
+        ]
+        assert g.source_tasks() == ["microphone"]
+        assert g.sink_tasks() == ["dialogue"]
+        assert g.channel("acoustic_model").static
+
+    def test_decoder_dominates_and_scales(self):
+        s1, s4 = State(n_speakers=1), State(n_speakers=4)
+        dec = SPEECH_COSTS["decoder"]
+        assert dec(s4) > 3 * dec(s1)
+        assert dec(s4) > 5 * SPEECH_COSTS["vad"](s4)
+
+    def test_feature_channel_size_scales_with_speakers(self):
+        g = build_speech_graph()
+        ch = g.channel("feature_vectors")
+        assert ch.item_size(State(n_speakers=4)) == 4 * ch.item_size(State(n_speakers=1))
+
+    def test_invalid_speakers(self):
+        with pytest.raises(GraphError):
+            build_speech_graph(0)
+
+    def test_states(self):
+        assert len(speech_states(4)) == 4
+
+
+class TestSpeechScheduling:
+    def test_decoder_decomposition_capped_by_speakers(self):
+        """Speaker decomposition has nothing to split at one speaker —
+        the opposite degenerate corner from the tracker's Table 1."""
+        g = build_speech_graph(4)
+        dec = g.task("decoder")
+        one = dec.best_variant(State(n_speakers=1), max_workers=4)
+        four = dec.best_variant(State(n_speakers=4), max_workers=4)
+        assert one.workers == 1      # dp variants can't help one speaker
+        assert four.workers == 4     # but cut the 4-speaker decode 4-way
+
+    def test_per_state_schedule_table(self):
+        g = build_speech_graph(4)
+        cluster = SINGLE_NODE_SMP(4)
+        table = ScheduleTable.build(
+            g, speech_states(4), OptimalScheduler(cluster)
+        )
+        lats = [table.lookup(s).latency for s in speech_states(4)]
+        assert lats == sorted(lats)
+        # At 4 speakers the decoder runs data-parallel in the optimum.
+        sol4 = table.lookup(State(n_speakers=4))
+        assert sol4.iteration.placement("decoder").workers > 1
+
+    def test_schedule_executes(self):
+        from repro.runtime.static_exec import StaticExecutor
+
+        g = build_speech_graph(2)
+        cluster = SINGLE_NODE_SMP(4)
+        state = State(n_speakers=2)
+        sol = OptimalScheduler(cluster).solve(g, state)
+        result = StaticExecutor(g, state, cluster, sol).run(5)
+        assert result.meta["slips"] == 0
+        assert result.completed_count == 5

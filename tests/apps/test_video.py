@@ -1,0 +1,132 @@
+"""Unit tests for the synthetic video source and color models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.colormodel import (
+    back_projection,
+    color_histogram,
+    histogram_intersection,
+    quantize,
+)
+from repro.apps.video import VideoSource
+from repro.errors import ReproError
+
+
+class TestVideoSource:
+    def test_frame_shape_and_dtype(self):
+        src = VideoSource(n_targets=2, height=60, width=80, seed=0)
+        f = src.frame(0)
+        assert f.shape == (60, 80, 3) and f.dtype == np.uint8
+
+    def test_deterministic_for_seed(self):
+        a = VideoSource(n_targets=2, seed=42).frame(5)
+        b = VideoSource(n_targets=2, seed=42).frame(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = VideoSource(n_targets=2, seed=1).frame(0)
+        b = VideoSource(n_targets=2, seed=2).frame(0)
+        assert (a != b).any()
+
+    def test_targets_move(self):
+        src = VideoSource(n_targets=1, seed=3)
+        assert src.positions(0) != src.positions(10)
+
+    def test_positions_stay_in_frame(self):
+        src = VideoSource(n_targets=4, height=50, width=70, seed=7, target_size=10)
+        for ts in range(0, 500, 25):
+            for (r, c) in src.positions(ts):
+                assert 0 <= r <= 40 and 0 <= c <= 60
+
+    def test_target_rendered_at_position(self):
+        src = VideoSource(n_targets=1, seed=0, noise_level=0)
+        r, c = src.positions(4)[0]
+        f = src.frame(4)
+        np.testing.assert_array_equal(f[r, c], np.array(src.targets[0].color))
+
+    def test_model_patch_is_uniform_color(self):
+        src = VideoSource(n_targets=2, seed=0)
+        patch = src.model_patch(1)
+        assert (patch == np.array(src.targets[1].color)).all()
+
+    def test_invalid_configs(self):
+        with pytest.raises(ReproError):
+            VideoSource(n_targets=0)
+        with pytest.raises(ReproError):
+            VideoSource(n_targets=99)
+        with pytest.raises(ReproError):
+            VideoSource(n_targets=1, height=10, width=10, target_size=10)
+        src = VideoSource(n_targets=1)
+        with pytest.raises(ReproError):
+            src.frame(-1)
+        with pytest.raises(ReproError):
+            src.model_patch(5)
+
+
+class TestColorModel:
+    def frame(self, seed=0):
+        return VideoSource(n_targets=2, height=40, width=50, seed=seed).frame(0)
+
+    def test_quantize_range(self):
+        idx = quantize(self.frame(), bins=8)
+        assert idx.min() >= 0 and idx.max() < 8**3
+
+    def test_histogram_normalized(self):
+        h = color_histogram(self.frame())
+        assert h.sum() == pytest.approx(1.0)
+        assert (h >= 0).all()
+
+    def test_intersection_identity(self):
+        h = color_histogram(self.frame())
+        assert histogram_intersection(h, h) == pytest.approx(1.0)
+
+    def test_intersection_symmetric_and_bounded(self):
+        h1 = color_histogram(self.frame(0))
+        h2 = color_histogram(self.frame(9))
+        i12 = histogram_intersection(h1, h2)
+        assert i12 == pytest.approx(histogram_intersection(h2, h1))
+        assert 0.0 <= i12 <= 1.0
+
+    def test_shape_mismatch_rejected(self):
+        h = color_histogram(self.frame())
+        with pytest.raises(ReproError):
+            histogram_intersection(h, h[:-1])
+
+    def test_back_projection_bounds(self):
+        src = VideoSource(n_targets=1, height=40, width=50, seed=0)
+        frame = src.frame(0)
+        model = color_histogram(src.model_patch(0))
+        bp = back_projection(frame, model, color_histogram(frame))
+        assert bp.shape == frame.shape[:2]
+        assert bp.min() >= 0.0 and bp.max() <= 1.0
+
+    def test_back_projection_peaks_on_target(self):
+        src = VideoSource(n_targets=1, height=40, width=50, seed=0, noise_level=0)
+        frame = src.frame(0)
+        model = color_histogram(src.model_patch(0))
+        bp = back_projection(frame, model, color_histogram(frame))
+        r, c = src.positions(0)[0]
+        on_target = bp[r : r + src.target_size, c : c + src.target_size].mean()
+        assert on_target > 0.9
+        assert on_target > bp.mean() * 2
+
+    def test_non_uint8_rejected(self):
+        with pytest.raises(ReproError):
+            color_histogram(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ReproError):
+            color_histogram(np.zeros((4, 4), dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_histogram_intersection_of_same_scene_high(self, seed):
+        """Two noisy renders of the same scene remain similar."""
+        src = VideoSource(n_targets=1, height=32, width=32, seed=seed)
+        h0 = color_histogram(src.frame(0))
+        h1 = color_histogram(src.frame(0))
+        assert histogram_intersection(h0, h1) == pytest.approx(1.0)

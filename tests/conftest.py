@@ -1,0 +1,50 @@
+"""Shared fixtures: the tracker graph, clusters, and common states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.tracker.graph import build_tracker_graph, tracker_planner
+from repro.graph.builders import chain_graph, fork_join_graph
+from repro.sim.cluster import ClusterSpec, SINGLE_NODE_SMP, STAMPEDE_CLUSTER
+from repro.state import State
+
+
+@pytest.fixture
+def smp4() -> ClusterSpec:
+    """The paper's single-node experiment platform: one SMP, 4 processors."""
+    return SINGLE_NODE_SMP(4)
+
+
+@pytest.fixture
+def stampede() -> ClusterSpec:
+    """The full paper platform: 4 nodes x 4 processors."""
+    return STAMPEDE_CLUSTER()
+
+
+@pytest.fixture
+def m1() -> State:
+    return State(n_models=1)
+
+
+@pytest.fixture
+def m8() -> State:
+    return State(n_models=8)
+
+
+@pytest.fixture
+def tracker_graph():
+    """The calibrated Figure 2 color-tracker graph."""
+    return build_tracker_graph()
+
+
+@pytest.fixture
+def simple_chain():
+    """t0(1s) -> t1(2s) -> t2(3s)."""
+    return chain_graph([1.0, 2.0, 3.0])
+
+
+@pytest.fixture
+def diamond():
+    """source -> two 1s branches -> sink."""
+    return fork_join_graph(0.5, [1.0, 1.0], 0.25)

@@ -1,0 +1,78 @@
+"""Unit tests for the full Figure 6 algorithm on the tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import OptimalScheduler
+from repro.graph.builders import chain_graph
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+
+class TestTrackerSolution:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        from repro.apps.tracker.graph import build_tracker_graph
+
+        return OptimalScheduler(SINGLE_NODE_SMP(4)).solve(
+            build_tracker_graph(), State(n_models=8)
+        )
+
+    def test_reproduces_figure_5b_structure(self, solution):
+        """T2 and T3 overlap in time; T4 runs data-parallel on all 4 procs."""
+        t2, t3 = solution.iteration.placement("T2"), solution.iteration.placement("T3")
+        assert t2.start < t3.end and t3.start < t2.end  # concurrent
+        assert t2.primary != t3.primary
+        t4 = solution.iteration.placement("T4")
+        assert t4.workers == 4 and t4.variant == "dp4"
+
+    def test_latency_is_critical_path_with_best_variants(self, solution):
+        """L = T1 + max(T2, T3) + T4(dp4) + T5 — nothing can be lower."""
+        from repro.apps.tracker.graph import build_tracker_graph
+
+        g = build_tracker_graph()
+        m8 = State(n_models=8)
+        lb = g.critical_path(m8, use_best_variants=True, max_workers=4)
+        assert solution.latency == pytest.approx(lb)
+
+    def test_pipelined_valid_and_within_bounds(self, solution):
+        solution.pipelined.validate_conflict_free()
+        assert solution.period <= solution.latency + 1e-9
+        assert solution.throughput == pytest.approx(1.0 / solution.period)
+
+    def test_solution_beats_naive_pipeline_on_latency(self, solution):
+        from repro.apps.tracker.graph import build_tracker_graph
+        from repro.core.pipeline import naive_pipeline
+
+        naive = naive_pipeline(build_tracker_graph(), State(n_models=8), SINGLE_NODE_SMP(4))
+        assert solution.latency < naive.latency / 3  # dramatic, as in Fig 5
+
+    def test_summary_mentions_key_numbers(self, solution):
+        text = solution.summary()
+        assert "L=" in text and "II=" in text
+
+
+class TestSmallCases:
+    def test_chain_on_two_procs(self, m1):
+        sol = OptimalScheduler(SINGLE_NODE_SMP(2)).solve(chain_graph([1.0, 1.0]), m1)
+        assert sol.latency == pytest.approx(2.0)
+        assert sol.period == pytest.approx(1.0)  # perfect pipelining
+
+    def test_alternatives_counted(self, m1):
+        from repro.graph.builders import fork_join_graph
+
+        sol = OptimalScheduler(SINGLE_NODE_SMP(2)).solve(
+            fork_join_graph(0.0, [1.0, 1.0], 0.0), m1
+        )
+        assert sol.alternatives >= 1
+        assert sol.explored > 0
+
+    def test_per_state_latency_monotone_in_models(self, smp4):
+        """More people to track can never reduce the optimal latency."""
+        from repro.apps.tracker.graph import build_tracker_graph
+
+        g = build_tracker_graph()
+        sched = OptimalScheduler(smp4)
+        lats = [sched.solve(g, State(n_models=m)).latency for m in (1, 2, 4, 8)]
+        assert lats == sorted(lats)

@@ -1,0 +1,146 @@
+"""Unit tests for schedule persistence and the interpolating table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegimeError, ScheduleError
+from repro.core.interpolate import InterpolatingTable
+from repro.core.optimal import OptimalScheduler
+from repro.core.serialize import (
+    iteration_from_dict,
+    iteration_to_dict,
+    pipelined_from_dict,
+    pipelined_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+    table_from_json,
+    table_to_json,
+)
+from repro.core.table import ScheduleTable
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State, StateSpace
+
+
+@pytest.fixture(scope="module")
+def tracker_solution():
+    from repro.apps.tracker.graph import build_tracker_graph
+
+    return OptimalScheduler(SINGLE_NODE_SMP(4)).solve(
+        build_tracker_graph(), State(n_models=8)
+    )
+
+
+class TestRoundTrips:
+    def test_iteration_round_trip(self, tracker_solution):
+        restored = iteration_from_dict(iteration_to_dict(tracker_solution.iteration))
+        assert restored.canonical_key() == tracker_solution.iteration.canonical_key()
+        assert restored.latency == pytest.approx(tracker_solution.latency)
+
+    def test_pipelined_round_trip(self, tracker_solution):
+        restored = pipelined_from_dict(pipelined_to_dict(tracker_solution.pipelined))
+        assert restored.period == pytest.approx(tracker_solution.period)
+        assert restored.shift == tracker_solution.pipelined.shift
+        restored.validate_conflict_free()
+
+    def test_solution_round_trip(self, tracker_solution):
+        restored = solution_from_dict(solution_to_dict(tracker_solution))
+        assert restored.state == tracker_solution.state
+        assert restored.latency == pytest.approx(tracker_solution.latency)
+        assert restored.alternatives == tracker_solution.alternatives
+
+    def test_table_round_trip(self):
+        from repro.apps.tracker.graph import build_tracker_graph
+
+        table = ScheduleTable.build(
+            build_tracker_graph(),
+            StateSpace.range("n_models", 1, 3),
+            OptimalScheduler(SINGLE_NODE_SMP(4)),
+        )
+        restored = table_from_json(table_to_json(table))
+        assert len(restored) == 3
+        for state in table.states():
+            assert restored.lookup(state).latency == pytest.approx(
+                table.lookup(state).latency
+            )
+
+    def test_restored_schedule_executes(self, tracker_solution):
+        """A loaded schedule runs through the static executor unchanged."""
+        from repro.apps.tracker.graph import build_tracker_graph
+        from repro.runtime.static_exec import StaticExecutor
+
+        restored = pipelined_from_dict(pipelined_to_dict(tracker_solution.pipelined))
+        result = StaticExecutor(
+            build_tracker_graph(), State(n_models=8), SINGLE_NODE_SMP(4), restored
+        ).run(4)
+        assert result.meta["slips"] == 0
+
+
+class TestMalformedInput:
+    def test_not_json(self):
+        with pytest.raises(ScheduleError, match="JSON"):
+            table_from_json("{nope")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(ScheduleError, match="not a schedule table"):
+            table_from_json('{"format": "something-else"}')
+
+    def test_wrong_version(self):
+        with pytest.raises(ScheduleError, match="version"):
+            table_from_json('{"format": "repro.schedule_table", "version": 99}')
+
+    def test_missing_fields(self):
+        with pytest.raises(ScheduleError, match="missing"):
+            iteration_from_dict({"name": "x"})
+        with pytest.raises(ScheduleError, match="missing"):
+            pipelined_from_dict({"period": 1.0})
+
+
+class TestInterpolatingTable:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.apps.tracker.graph import build_tracker_graph
+
+        graph = build_tracker_graph()
+        cluster = SINGLE_NODE_SMP(4)
+        # Sparse coverage: only states 1 and 8.
+        table = ScheduleTable.build(
+            graph,
+            StateSpace(iter([State(n_models=1), State(n_models=8)])),
+            OptimalScheduler(cluster),
+        )
+        return graph, cluster, table
+
+    def test_exact_hit_passthrough(self, setup):
+        graph, cluster, table = setup
+        interp = InterpolatingTable(table, graph, cluster)
+        sol = interp.lookup(State(n_models=8))
+        assert sol is table.lookup(State(n_models=8))
+        assert interp.interpolations == 0
+
+    def test_interpolated_lookup_valid_for_state(self, setup):
+        graph, cluster, table = setup
+        interp = InterpolatingTable(table, graph, cluster)
+        sol = interp.lookup(State(n_models=4))
+        assert sol.state == State(n_models=4)
+        sol.iteration.validate(graph, State(n_models=4), cluster)
+        sol.pipelined.validate_conflict_free()
+        assert interp.interpolations == 1
+
+    def test_nearest_selection(self, setup):
+        graph, cluster, table = setup
+        interp = InterpolatingTable(table, graph, cluster)
+        assert interp.nearest_covered(State(n_models=2))["n_models"] == 1
+        assert interp.nearest_covered(State(n_models=7))["n_models"] == 8
+
+    def test_interpolated_never_beats_exact(self, setup):
+        graph, cluster, table = setup
+        interp = InterpolatingTable(table, graph, cluster)
+        exact = OptimalScheduler(cluster).solve(graph, State(n_models=4))
+        assert interp.lookup(State(n_models=4)).latency >= exact.latency - 1e-9
+
+    def test_missing_variable_rejected(self, setup):
+        graph, cluster, table = setup
+        interp = InterpolatingTable(table, graph, cluster)
+        with pytest.raises(RegimeError):
+            interp.lookup(State(other=3))

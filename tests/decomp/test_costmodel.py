@@ -1,0 +1,136 @@
+"""Unit tests for the Table 1 cost model and planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.decomp.costmodel import DetectionCostModel, TABLE1_CALIBRATION
+from repro.decomp.planner import DecompositionPlanner
+from repro.decomp.strategies import Decomposition
+from repro.state import State, StateSpace
+
+
+class TestCalibration:
+    """The calibrated model vs the paper's six Table 1 measurements."""
+
+    @pytest.mark.parametrize(
+        "fp,m,mp,paper",
+        [
+            (1, 1, 1, 0.876),
+            (4, 1, 1, 0.275),
+            (1, 8, 8, 1.857),
+            (4, 8, 8, 2.155),
+            (1, 8, 1, 6.850),
+            (4, 8, 1, 2.033),
+        ],
+    )
+    def test_within_six_percent_of_paper(self, fp, m, mp, paper):
+        got = TABLE1_CALIBRATION.latency(Decomposition(fp, mp), m)
+        assert abs(got - paper) / paper < 0.06
+
+    def test_paper_orderings(self):
+        cm = TABLE1_CALIBRATION
+        # 1 model: frame division wins.
+        assert cm.latency(Decomposition(4, 1), 1) < cm.latency(Decomposition(1, 1), 1)
+        # 8 models: model division wins over everything.
+        best = cm.latency(Decomposition(1, 8), 8)
+        assert best < cm.latency(Decomposition(4, 1), 8)
+        assert best < cm.latency(Decomposition(4, 8), 8)
+        assert best < cm.latency(Decomposition(1, 1), 8)
+
+    def test_serial_time_linear_in_models(self):
+        cm = TABLE1_CALIBRATION
+        t1, t2, t4 = cm.serial_time(1), cm.serial_time(2), cm.serial_time(4)
+        assert (t2 - t1) == pytest.approx((t4 - t2) / 2)
+
+    def test_speedup(self):
+        s = TABLE1_CALIBRATION.speedup(Decomposition(4, 1), 1)
+        assert s == pytest.approx(0.876 / 0.275, rel=0.02)
+
+
+class TestCostModelValidation:
+    def test_negative_params(self):
+        with pytest.raises(DecompositionError):
+            DetectionCostModel(scan_rate=-1, setup=0, dispatch=0)
+
+    def test_zero_workers(self):
+        with pytest.raises(DecompositionError):
+            DetectionCostModel(scan_rate=1, setup=0, dispatch=0, workers=0)
+
+    def test_mp_exceeding_models(self):
+        with pytest.raises(DecompositionError):
+            TABLE1_CALIBRATION.chunk_time(Decomposition(1, 8), 4)
+
+    def test_waves(self):
+        cm = DetectionCostModel(scan_rate=8.0, setup=0.0, dispatch=0.0, workers=4)
+        # 32 chunks on 4 workers -> 8 waves.
+        d = Decomposition(4, 8)
+        assert cm.latency(d, 8) == pytest.approx(8 * cm.chunk_time(d, 8))
+
+
+class TestPlanner:
+    @pytest.fixture
+    def planner(self):
+        return DecompositionPlanner(TABLE1_CALIBRATION)
+
+    def test_one_model_prefers_frame_split(self, planner):
+        choice = planner.plan(State(n_models=1))
+        assert choice.decomposition.mp == 1 and choice.decomposition.fp > 1
+
+    def test_eight_models_prefers_model_split(self, planner):
+        choice = planner.plan(State(n_models=8))
+        assert choice.decomposition.mp > 1
+
+    def test_candidates_sorted_best_first(self, planner):
+        cands = planner.candidates(State(n_models=8))
+        lats = [lat for _, lat in cands]
+        assert lats == sorted(lats)
+
+    def test_plan_cached(self, planner):
+        a = planner.plan(State(n_models=4))
+        assert planner.plan(State(n_models=4)) is a
+
+    def test_table_covers_space(self, planner):
+        table = planner.table(StateSpace.range("n_models", 1, 5))
+        assert len(table) == 5
+
+    def test_speedup_positive(self, planner):
+        for m in (1, 2, 4, 8):
+            assert planner.plan(State(n_models=m)).speedup >= 1.0
+
+    def test_invalid_state(self, planner):
+        with pytest.raises(DecompositionError):
+            planner.plan(State(other=1))
+        with pytest.raises(DecompositionError):
+            planner.plan(State(n_models=0))
+
+    def test_paper_grid_planner_matches_table1(self):
+        """Restricted to the paper's grid, the planner picks the table's
+        winners: FP=4 at one model, MP=8 at eight."""
+        planner = DecompositionPlanner(
+            TABLE1_CALIBRATION, fp_options=(1, 4), mp_options=(1, 8)
+        )
+        assert planner.plan(State(n_models=1)).decomposition == Decomposition(4, 1)
+        assert planner.plan(State(n_models=8)).decomposition == Decomposition(1, 8)
+
+    def test_frozen_planner_keeps_decomposition(self, planner):
+        frozen = planner.frozen(State(n_models=8))
+        d8 = planner.plan(State(n_models=8)).decomposition
+        assert frozen.plan(State(n_models=4)).decomposition == d8
+
+    def test_frozen_planner_raises_when_inapplicable(self, planner):
+        frozen = planner.frozen(State(n_models=8))  # MP=4 decomposition
+        with pytest.raises(DecompositionError):
+            frozen.plan(State(n_models=1))
+
+    def test_chunk_adapters_consistent(self, planner):
+        """chunk_cost_fn x chunks_for_fn reproduce the planned latency."""
+        import math
+
+        state = State(n_models=8)
+        choice = planner.plan(state)
+        chunk_cost = planner.chunk_cost_fn()(state, 0)
+        n_chunks = planner.chunks_for_fn()(state, planner.workers)
+        waves = math.ceil(n_chunks / planner.workers)
+        assert waves * chunk_cost == pytest.approx(choice.predicted_latency)

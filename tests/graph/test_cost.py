@@ -1,0 +1,115 @@
+"""Unit and property tests for cost models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CostModelError
+from repro.graph.cost import (
+    CallableCost,
+    ConstantCost,
+    LinearCost,
+    TableCost,
+    ZeroCost,
+    as_cost,
+)
+from repro.state import State
+
+
+class TestZeroAndConstant:
+    def test_zero(self):
+        assert ZeroCost()(State(n_models=3)) == 0.0
+        assert ZeroCost() == ZeroCost()
+
+    def test_constant_ignores_state(self, m1, m8):
+        c = ConstantCost(0.12)
+        assert c(m1) == c(m8) == 0.12
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(CostModelError):
+            ConstantCost(-0.1)
+
+    def test_constant_equality(self):
+        assert ConstantCost(1.0) == ConstantCost(1.0)
+        assert ConstantCost(1.0) != ConstantCost(2.0)
+
+
+class TestLinear:
+    def test_paper_t4_shape(self):
+        t4 = LinearCost(base=0.023, slope=0.853, variable="n_models")
+        assert t4(State(n_models=1)) == pytest.approx(0.876)
+        assert t4(State(n_models=8)) == pytest.approx(6.847)
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(CostModelError):
+            LinearCost(0.0, 1.0, "n_models")(State(other=1))
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(CostModelError):
+            LinearCost(-1.0, 1.0)
+        with pytest.raises(CostModelError):
+            LinearCost(1.0, -1.0)
+
+    @given(
+        base=st.floats(0, 10),
+        slope=st.floats(0, 10),
+        a=st.integers(1, 100),
+        b=st.integers(1, 100),
+    )
+    def test_monotone_in_variable(self, base, slope, a, b):
+        cost = LinearCost(base, slope)
+        lo, hi = min(a, b), max(a, b)
+        assert cost(State(n_models=lo)) <= cost(State(n_models=hi))
+
+
+class TestTable:
+    def test_exact_lookup(self):
+        t = TableCost({State(n_models=1): 1.0, State(n_models=2): 3.0})
+        assert t(State(n_models=2)) == 3.0
+
+    def test_missing_raises_without_interpolation(self):
+        t = TableCost({State(n_models=1): 1.0})
+        with pytest.raises(CostModelError):
+            t(State(n_models=2))
+
+    def test_interpolation_midpoint(self):
+        t = TableCost(
+            {State(n_models=1): 1.0, State(n_models=3): 3.0}, interpolate=True
+        )
+        assert t(State(n_models=2)) == pytest.approx(2.0)
+
+    def test_interpolation_clamps_at_ends(self):
+        t = TableCost(
+            {State(n_models=2): 2.0, State(n_models=4): 4.0}, interpolate=True
+        )
+        assert t(State(n_models=1)) == 2.0
+        assert t(State(n_models=9)) == 4.0
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CostModelError):
+            TableCost({})
+
+
+class TestCallableAndCoercion:
+    def test_callable_validates_output(self):
+        bad = CallableCost(lambda s: -1.0, label="bad")
+        with pytest.raises(CostModelError):
+            bad(State(n_models=1))
+        nan = CallableCost(lambda s: float("nan"))
+        with pytest.raises(CostModelError):
+            nan(State(n_models=1))
+
+    def test_as_cost_number(self):
+        c = as_cost(2.5)
+        assert isinstance(c, ConstantCost) and c(State(x=1)) == 2.5
+
+    def test_as_cost_passthrough(self):
+        c = ConstantCost(1.0)
+        assert as_cost(c) is c
+
+    def test_as_cost_rejects_garbage(self):
+        with pytest.raises(CostModelError):
+            as_cost("fast")  # type: ignore[arg-type]
+        with pytest.raises(CostModelError):
+            as_cost(True)  # type: ignore[arg-type]

@@ -1,0 +1,181 @@
+"""Unit tests for latency/throughput/uniformity metrics and curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.graph.builders import chain_graph
+from repro.metrics.curves import CurvePoint, dominates, pareto_front, render_curve
+from repro.metrics.latency import latency_stats, throughput_from_completions
+from repro.metrics.uniformity import uniformity_stats
+from repro.runtime.result import ExecutionResult
+from repro.sim.trace import TraceRecorder
+from repro.state import State
+
+
+def make_result(digitize: dict, completion: dict, emitted=None, horizon=100.0):
+    return ExecutionResult(
+        graph=chain_graph([1.0]),
+        state=State(n_models=1),
+        trace=TraceRecorder(),
+        digitize_times=digitize,
+        completion_times=completion,
+        horizon=horizon,
+        emitted=emitted if emitted is not None else len(digitize),
+    )
+
+
+class TestExecutionResult:
+    def test_latency_per_timestamp(self):
+        r = make_result({0: 1.0, 1: 2.0}, {0: 3.0, 1: 5.5})
+        assert r.latency(0) == 2.0 and r.latency(1) == 3.5
+        assert r.latency(9) is None
+
+    def test_latencies_ordered_by_timestamp(self):
+        r = make_result({0: 0.0, 1: 1.0}, {1: 4.0, 0: 2.0})
+        assert r.latencies() == [2.0, 3.0]
+
+    def test_completion_sequence_sorted(self):
+        r = make_result({}, {2: 9.0, 0: 1.0, 1: 5.0})
+        assert r.completion_sequence() == [1.0, 5.0, 9.0]
+
+
+class TestLatencyStats:
+    def test_basic_stats(self):
+        r = make_result(
+            {ts: float(ts) for ts in range(4)},
+            {ts: float(ts) + 2.0 + 0.1 * ts for ts in range(4)},
+        )
+        s = latency_stats(r)
+        assert s.count == 4
+        assert s.minimum == pytest.approx(2.0)
+        assert s.maximum == pytest.approx(2.3)
+        assert s.spread == pytest.approx(0.3)
+
+    def test_warmup_drops_prefix(self):
+        r = make_result(
+            {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0},
+            {0: 10.0, 1: 3.0, 2: 4.0, 3: 5.0},
+        )
+        s = latency_stats(r, warmup_fraction=0.25)
+        assert s.maximum == pytest.approx(2.0)  # the 10s outlier dropped
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            latency_stats(make_result({}, {}))
+
+    def test_invalid_warmup(self):
+        r = make_result({0: 0.0}, {0: 1.0})
+        with pytest.raises(ExperimentError):
+            latency_stats(r, warmup_fraction=1.0)
+
+
+class TestThroughput:
+    def test_inverse_interarrival(self):
+        assert throughput_from_completions([0.0, 2.0, 4.0, 6.0]) == pytest.approx(0.5)
+
+    def test_single_completion_uses_horizon(self):
+        assert throughput_from_completions([5.0], horizon=10.0) == pytest.approx(0.1)
+
+    def test_empty(self):
+        assert throughput_from_completions([]) == 0.0
+
+
+class TestUniformity:
+    def test_perfectly_uniform(self):
+        r = make_result(
+            {ts: float(ts) for ts in range(5)},
+            {ts: float(ts) + 1 for ts in range(5)},
+            emitted=5,
+        )
+        u = uniformity_stats(r)
+        assert u.coverage == 1.0 and u.max_gap == 0
+        assert u.interarrival_cv == pytest.approx(0.0)
+
+    def test_skipping_detected(self):
+        r = make_result(
+            {ts: float(ts) for ts in range(100)},
+            {0: 1.0, 1: 2.0, 2: 3.0, 50: 10.0},
+            emitted=100,
+        )
+        u = uniformity_stats(r)
+        assert u.max_gap == 47
+        assert u.coverage == pytest.approx(0.04)
+        assert u.interarrival_cv > 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            uniformity_stats(make_result({}, {}))
+
+
+class TestCurves:
+    def test_dominates(self):
+        best = CurvePoint(throughput=0.5, latency=2.0)
+        assert dominates(best, CurvePoint(0.3, 4.0))
+        assert dominates(best, CurvePoint(0.5, 3.0))
+        assert not dominates(best, CurvePoint(0.6, 1.0))
+        assert not dominates(best, best)  # not strictly better than itself
+
+    def test_dominates_with_tolerance(self):
+        a = CurvePoint(throughput=0.49, latency=2.0)
+        b = CurvePoint(throughput=0.50, latency=6.0)
+        assert not dominates(a, b)
+        assert dominates(a, b, tolerance=0.02)
+
+    def test_pareto_front(self):
+        pts = [
+            CurvePoint(0.2, 2.0),
+            CurvePoint(0.3, 3.0),
+            CurvePoint(0.25, 5.0),   # dominated by (0.3, 3.0)? lat worse, thr worse
+            CurvePoint(0.5, 6.0),
+        ]
+        front = pareto_front(pts)
+        assert CurvePoint(0.25, 5.0) not in front
+        assert CurvePoint(0.2, 2.0) in front
+        assert CurvePoint(0.5, 6.0) in front
+
+    def test_render_curve_contains_markers(self):
+        text = render_curve(
+            [CurvePoint(0.2, 5.0), CurvePoint(0.4, 3.0)],
+            highlight=CurvePoint(0.5, 2.0),
+        )
+        assert "o" in text and "*" in text and "throughput" in text
+
+    def test_render_empty(self):
+        assert render_curve([]) == "(no points)"
+
+
+class TestGantt:
+    def test_render_from_trace(self, tracker_graph, m8, smp4):
+        from repro.core.optimal import OptimalScheduler
+        from repro.metrics.gantt import render_gantt, render_schedule
+        from repro.runtime.static_exec import StaticExecutor
+
+        sol = OptimalScheduler(smp4).solve(tracker_graph, m8)
+        result = StaticExecutor(tracker_graph, m8, smp4, sol).run(3)
+        text = render_gantt(result.trace)
+        assert "P0" in text and "T4#" in text
+
+    def test_render_schedule_shows_rotation(self, tracker_graph, m8, smp4):
+        from repro.core.pipeline import naive_pipeline
+        from repro.metrics.gantt import render_schedule
+
+        p = naive_pipeline(tracker_graph, m8, smp4)
+        text = render_schedule(p, iterations=3)
+        # Iterations 0..2 appear, on different processors (shift=1).
+        assert "#0" in text and "#2" in text
+
+    def test_preempted_spans_marked(self):
+        from repro.metrics.gantt import render_gantt
+        from repro.sim.trace import ExecSpan, TraceRecorder
+
+        t = TraceRecorder()
+        t.record_span(ExecSpan(0, "T4", 0, 0.0, 1.0, preempted=True))
+        assert "*" in render_gantt(t)
+
+    def test_empty_trace(self):
+        from repro.metrics.gantt import render_gantt
+        from repro.sim.trace import TraceRecorder
+
+        assert render_gantt(TraceRecorder()) == "(empty trace)"

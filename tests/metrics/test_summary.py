@@ -1,0 +1,59 @@
+"""Unit tests for the execution summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import OptimalScheduler
+from repro.metrics.summary import summarize
+from repro.runtime.static_exec import StaticExecutor
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+
+class TestSummarize:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        from repro.apps.tracker.graph import build_tracker_graph
+
+        g = build_tracker_graph()
+        m8 = State(n_models=8)
+        cluster = SINGLE_NODE_SMP(4)
+        sol = OptimalScheduler(cluster).solve(g, m8)
+        result = StaticExecutor(g, m8, cluster, sol).run(10)
+        return sol, summarize(result, warmup_fraction=0.2)
+
+    def test_headline_numbers_consistent(self, summary):
+        sol, s = summary
+        assert s.latency.mean == pytest.approx(
+            sol.latency - sol.iteration.placement("T1").end
+        )
+        assert s.throughput == pytest.approx(sol.throughput, rel=0.05)
+        assert s.slips == 0
+
+    def test_uniformity_perfect_for_static(self, summary):
+        _, s = summary
+        assert s.uniformity.coverage == 1.0
+        assert s.uniformity.max_gap == 0
+
+    def test_utilization_in_range(self, summary):
+        _, s = summary
+        assert 0.0 < s.utilization <= 1.0
+
+    def test_render_mentions_everything(self, summary):
+        _, s = summary
+        text = s.render()
+        for key in ("latency:", "throughput:", "uniformity:", "utilization:",
+                    "space:", "slips:"):
+            assert key in text
+
+
+class TestCLIOutputFile:
+    def test_report_written(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_file = tmp_path / "report.txt"
+        assert main(["table1", "--output", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "Table 1 reproduction" in text
+        assert "shape holds: True" in text

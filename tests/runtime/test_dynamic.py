@@ -1,0 +1,148 @@
+"""Unit tests for the dynamic (on-line scheduled) executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.builders import chain_graph, fork_join_graph
+from repro.runtime.dynamic import DynamicExecutor
+from repro.sched.online import PthreadScheduler
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+
+def run_chain(costs, period, horizon, procs=2, policy="latest", max_ts=None, caps=None):
+    g = chain_graph(costs, period=period)
+    ex = DynamicExecutor(
+        g, State(n_models=1), SINGLE_NODE_SMP(procs),
+        PthreadScheduler(quantum=0.01),
+        input_policy=policy, capacity_override=caps,
+    )
+    return ex.run(horizon=horizon, max_timestamps=max_ts)
+
+
+class TestBasicExecution:
+    def test_all_frames_complete_when_underloaded(self):
+        result = run_chain([0.01, 0.02, 0.03], period=0.5, horizon=10.0, max_ts=10)
+        assert result.emitted == 10
+        assert result.completed == list(range(10))
+
+    def test_latency_is_pipeline_service_time(self):
+        result = run_chain([0.01, 0.02, 0.03], period=1.0, horizon=20.0, max_ts=5)
+        for ts in result.completed:
+            # t1 + t2 after the digitizer put (plus negligible scheduling).
+            assert result.latency(ts) == pytest.approx(0.05, abs=1e-6)
+
+    def test_digitize_times_follow_period(self):
+        result = run_chain([0.01, 0.01], period=0.5, horizon=10.0, max_ts=4)
+        times = [result.digitize_times[ts] for ts in range(4)]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        for g in gaps:
+            assert g == pytest.approx(0.5, abs=1e-3)
+
+    def test_horizon_truncates(self):
+        result = run_chain([0.01, 0.01], period=1.0, horizon=2.5)
+        assert result.emitted == 3  # t=0, 1, 2
+
+    def test_invalid_horizon(self):
+        g = chain_graph([0.01], period=1.0)
+        ex = DynamicExecutor(
+            g, State(n_models=1), SINGLE_NODE_SMP(1), PthreadScheduler()
+        )
+        with pytest.raises(ReproError):
+            ex.run(horizon=0.0)
+
+    def test_invalid_policy(self):
+        g = chain_graph([0.01], period=1.0)
+        with pytest.raises(ReproError):
+            DynamicExecutor(
+                g, State(n_models=1), SINGLE_NODE_SMP(1), PthreadScheduler(),
+                input_policy="psychic",
+            )
+
+    def test_zero_cost_unpaced_source_rejected(self):
+        g = chain_graph([0.0, 1.0])
+        ex = DynamicExecutor(
+            g, State(n_models=1), SINGLE_NODE_SMP(1), PthreadScheduler()
+        )
+        with pytest.raises(ReproError):
+            ex.run(horizon=1.0)
+
+
+class TestSkippingBehaviour:
+    def test_latest_policy_skips_under_overload(self):
+        """Slow consumer + fast producer: frames are skipped (§1's
+        non-uniformity), and the newest frames are the ones processed."""
+        result = run_chain([0.001, 0.5], period=0.05, horizon=10.0, procs=2)
+        assert result.emitted > result.completed_count * 2
+        gaps = [b - a for a, b in zip(result.completed, result.completed[1:])]
+        assert max(gaps) > 1  # consecutive frames skipped
+
+    def test_inorder_policy_never_skips(self):
+        result = run_chain(
+            [0.001, 0.5], period=0.05, horizon=10.0, procs=2,
+            policy="inorder", max_ts=10,
+        )
+        assert result.completed == list(range(10))
+
+    def test_inorder_backlog_grows_latency(self):
+        result = run_chain(
+            [0.001, 0.5], period=0.05, horizon=30.0, procs=2,
+            policy="inorder", max_ts=20,
+        )
+        lats = result.latencies()
+        assert lats[-1] > lats[0]  # each frame waits behind a longer queue
+
+
+class TestFlowControl:
+    def test_bounded_channels_throttle_source(self):
+        free = run_chain([0.001, 0.5], period=0.01, horizon=5.0, policy="inorder")
+        bounded = run_chain(
+            [0.001, 0.5], period=0.01, horizon=5.0, policy="inorder",
+            caps={"c0": 2},
+        )
+        # The bounded run digitizes far fewer frames: producer blocks.
+        assert bounded.emitted < free.emitted / 2
+
+    def test_terminal_channel_collector_prevents_deadlock(self):
+        """Bounding a sink's output channel must not wedge the pipeline."""
+        result = run_chain(
+            [0.001, 0.01, 0.01], period=0.05, horizon=5.0, policy="inorder",
+            caps={"c0": 1, "c1": 1}, max_ts=20,
+        )
+        assert result.completed_count == 20
+
+
+class TestForkJoinExecution:
+    def test_fan_in_matches_timestamps(self):
+        g = fork_join_graph(0.001, [0.02, 0.04], 0.01, period=0.2)
+        ex = DynamicExecutor(
+            g, State(n_models=1), SINGLE_NODE_SMP(4), PthreadScheduler(quantum=0.01)
+        )
+        result = ex.run(horizon=5.0, max_timestamps=8)
+        assert result.completed == list(range(8))
+
+    def test_sink_completion_requires_all_inputs(self, tracker_graph, m8):
+        from repro.sched.handtuned import with_source_period
+
+        g = with_source_period(tracker_graph, 3.0)
+        ex = DynamicExecutor(
+            g, m8, SINGLE_NODE_SMP(4), PthreadScheduler(quantum=0.01)
+        )
+        result = ex.run(horizon=40.0)
+        assert result.completed_count >= 3
+        for ts in result.completed:
+            spans = result.trace.spans_for_timestamp(ts)
+            assert {s.task for s in spans} == {"T1", "T2", "T3", "T4", "T5"}
+
+
+class TestMetaAccounting:
+    def test_gc_and_high_water(self):
+        result = run_chain([0.01, 0.01], period=0.5, horizon=10.0, max_ts=5)
+        assert result.gc_collected > 0
+        assert result.live_item_high_water >= 1
+
+    def test_meta_carries_scheduler(self):
+        result = run_chain([0.01, 0.01], period=0.5, horizon=2.0)
+        assert "PthreadScheduler" in result.meta["scheduler"]

@@ -1,0 +1,137 @@
+"""Unit tests for the simulator-bound channel hubs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import chain_graph
+from repro.runtime.hub import ChannelHub, build_hubs
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.stm.channel import STMChannel
+
+
+@pytest.fixture
+def hub():
+    sim = Simulator()
+    trace = TraceRecorder()
+    return sim, ChannelHub(sim, STMChannel("c"), trace), trace
+
+
+class TestNotification:
+    def test_put_fires_change_event(self, hub):
+        sim, h, _ = hub
+        out = h.stm.attach_output("p")
+        ev = h.wait_change()
+
+        def putter(sim):
+            yield from h.put(out, 0, "x")
+
+        sim.process(putter(sim))
+        sim.run()
+        assert ev.fired
+
+    def test_consume_fires_change_event(self, hub):
+        sim, h, _ = hub
+        out = h.stm.attach_output("p")
+        inp = h.stm.attach_input("q")
+
+        def putter(sim):
+            yield from h.put(out, 0, "x")
+
+        sim.process(putter(sim))
+        sim.run()
+        ev = h.wait_change()
+        h.consume(inp, 0)
+        assert ev.triggered
+
+    def test_each_change_event_is_fresh(self, hub):
+        sim, h, _ = hub
+        first = h.wait_change()
+        h._notify()
+        second = h.wait_change()
+        assert first is not second
+
+
+class TestBlockingPut:
+    def test_put_blocks_at_capacity_until_gc(self):
+        sim = Simulator()
+        h = ChannelHub(sim, STMChannel("c", capacity=1))
+        out = h.stm.attach_output("p")
+        inp = h.stm.attach_input("q")
+        done = []
+
+        def producer(sim):
+            yield from h.put(out, 0, "a")
+            yield from h.put(out, 1, "b")  # blocks: capacity 1
+            done.append(sim.now)
+
+        def consumer(sim):
+            yield sim.timeout(5.0)
+            h.try_get(inp, 0)
+            h.consume(inp, 0)  # GC frees the slot -> producer resumes
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim))
+        sim.run()
+        assert done == [5.0]
+
+
+class TestTraceIntegration:
+    def test_items_recorded(self, hub):
+        sim, h, trace = hub
+        out = h.stm.attach_output("p")
+        inp = h.stm.attach_input("q")
+
+        def flow(sim):
+            yield from h.put(out, 0, "x")
+            h.try_get(inp, 0)
+            h.consume(inp, 0)
+
+        sim.process(flow(sim))
+        sim.run()
+        kinds = [e.kind for e in trace.items]
+        assert kinds == ["put", "get", "consume"]
+        assert trace.items[0].task == "p"
+
+    def test_put_time_tracked(self, hub):
+        sim, h, _ = hub
+        out = h.stm.attach_output("p")
+
+        def putter(sim):
+            yield sim.timeout(3.0)
+            yield from h.put(out, 7, "x")
+
+        sim.process(putter(sim))
+        sim.run()
+        assert h.put_time(7) == 3.0
+        assert h.put_time(99) is None
+
+    def test_gc_stats_accumulate(self, hub):
+        sim, h, _ = hub
+        out = h.stm.attach_output("p")
+        inp = h.stm.attach_input("q")
+
+        def flow(sim):
+            for ts in range(3):
+                yield from h.put(out, ts, ts)
+                h.try_get(inp, ts)
+                h.consume(inp, ts)
+
+        sim.process(flow(sim))
+        sim.run()
+        assert h.gc_stats.collected == 3
+
+
+class TestBuildHubs:
+    def test_one_hub_per_channel(self):
+        sim = Simulator()
+        g = chain_graph([1.0, 1.0, 1.0])
+        hubs = build_hubs(sim, g)
+        assert set(hubs) == {"c0", "c1"}
+
+    def test_capacity_override(self):
+        sim = Simulator()
+        g = chain_graph([1.0, 1.0])
+        hubs = build_hubs(sim, g, capacity_override={"c0": 7})
+        assert hubs["c0"].stm.capacity == 7

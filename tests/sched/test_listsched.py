@@ -1,0 +1,83 @@
+"""Unit tests for the HEFT-style list scheduler and hand tuning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import OptimalScheduler
+from repro.graph.builders import chain_graph, fork_join_graph
+from repro.sched.handtuned import with_source_period
+from repro.sched.listsched import list_schedule
+from repro.sim.cluster import SINGLE_NODE_SMP, ClusterSpec
+from repro.sim.network import CommCost, CommModel
+from repro.state import State
+
+
+class TestListSchedule:
+    def test_legal_on_tracker(self, tracker_graph, m8, smp4):
+        s = list_schedule(tracker_graph, m8, smp4)
+        s.validate(tracker_graph, m8, smp4)  # would raise if illegal
+
+    def test_matches_optimum_on_chain(self, m1):
+        g = chain_graph([1.0, 2.0])
+        heur = list_schedule(g, m1, SINGLE_NODE_SMP(2))
+        opt = OptimalScheduler(SINGLE_NODE_SMP(2)).solve(g, m1)
+        assert heur.latency == pytest.approx(opt.latency)
+
+    def test_matches_optimum_on_tracker(self, tracker_graph, m8, smp4):
+        """On this graph the greedy heuristic happens to hit the optimum —
+        worth pinning, since the benches compare their planning costs."""
+        heur = list_schedule(tracker_graph, m8, smp4)
+        opt = OptimalScheduler(smp4).solve(tracker_graph, m8)
+        assert heur.latency == pytest.approx(opt.latency, rel=0.05)
+
+    def test_never_beats_optimum(self, m8):
+        g = fork_join_graph(0.1, [1.0, 2.0, 0.5], 0.1)
+        for procs in (1, 2, 4):
+            cluster = SINGLE_NODE_SMP(procs)
+            heur = list_schedule(g, m8, cluster)
+            opt = OptimalScheduler(cluster).solve(g, m8)
+            assert heur.latency >= opt.latency - 1e-9
+
+    def test_respects_comm_model(self, m1):
+        g = chain_graph([1.0, 1.0], item_bytes=1)
+        cluster = ClusterSpec(nodes=2, procs_per_node=1)
+        comm = CommModel(
+            cluster,
+            intra_node=CommCost(0.0, float("inf")),
+            inter_node=CommCost(100.0, float("inf")),
+        )
+        s = list_schedule(g, m1, cluster, comm=comm)
+        s.validate(g, m1, cluster, comm)
+        assert s.latency == pytest.approx(2.0)  # stays on one node
+
+
+class TestWithSourcePeriod:
+    def test_sets_period_on_sources_only(self, tracker_graph):
+        g = with_source_period(tracker_graph, 0.5)
+        assert g.task("T1").period == 0.5
+        assert g.task("T4").period is None
+
+    def test_none_clears_period(self, tracker_graph):
+        g = with_source_period(with_source_period(tracker_graph, 1.0), None)
+        assert g.task("T1").period is None
+
+    def test_preserves_everything_else(self, tracker_graph, m8):
+        g = with_source_period(tracker_graph, 0.5)
+        assert g.task_names == tracker_graph.task_names
+        assert g.task("T4").cost(m8) == tracker_graph.task("T4").cost(m8)
+        assert g.task("T4").data_parallel is tracker_graph.task("T4").data_parallel
+
+
+class TestSameProcPlacementHeuristic:
+    def test_heuristic_uses_producer_processor_under_costly_comm(self, m1):
+        """The greedy scheduler must also consider the predecessor's own
+        processor, where the transfer is free."""
+        g = chain_graph([1.0, 1.0], item_bytes=100)
+        cluster = SINGLE_NODE_SMP(2)
+        comm = CommModel(
+            cluster, intra_node=CommCost(latency=10.0, bandwidth=float("inf"))
+        )
+        s = list_schedule(g, m1, cluster, comm=comm)
+        assert s.latency == pytest.approx(2.0)
+        assert s.placement("t0").primary == s.placement("t1").primary

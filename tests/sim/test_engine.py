@@ -1,0 +1,291 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProcessError, SimDeadlock, SimTimeError
+from repro.sim.engine import AllOf, AnyOf, Interrupt, Process, SimEvent, Simulator, Timeout
+
+
+class TestSimEvent:
+    def test_pending_state(self):
+        sim = Simulator()
+        ev = sim.event("e")
+        assert not ev.triggered and not ev.fired and ev.ok
+
+    def test_succeed_fires_after_run(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered and not ev.fired
+        sim.run()
+        assert ev.fired and ev.value == 42
+
+    def test_succeed_twice_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(ProcessError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_carries_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        sim.run()
+        assert not ev.ok and isinstance(ev.value, ValueError)
+
+    def test_callback_after_fired_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_delayed_succeed(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("late", delay=5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        sim = Simulator()
+        t = sim.timeout(2.5, value="done")
+        sim.run()
+        assert sim.now == 2.5 and t.value == "done"
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimTimeError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_at_current_time(self):
+        sim = Simulator()
+        sim.timeout(0.0)
+        sim.run()
+        assert sim.now == 0.0
+
+
+class TestProcesses:
+    def test_return_value_becomes_event_value(self):
+        sim = Simulator()
+
+        def gen(sim):
+            yield sim.timeout(1.0)
+            return "result"
+
+        p = sim.process(gen(sim))
+        sim.run()
+        assert p.value == "result" and not p.alive
+
+    def test_processes_interleave_deterministically(self):
+        sim = Simulator()
+        log = []
+
+        def worker(sim, name, delay, repeats):
+            for _ in range(repeats):
+                yield sim.timeout(delay)
+                log.append((sim.now, name))
+
+        sim.process(worker(sim, "slow", 2.0, 2))
+        sim.process(worker(sim, "fast", 1.0, 4))
+        sim.run()
+        assert log == [
+            (1.0, "fast"), (2.0, "slow"), (2.0, "fast"), (3.0, "fast"),
+            (4.0, "slow"), (4.0, "fast"),
+        ]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            ev = sim.event()
+            ev.add_callback(lambda e, i=i: log.append(i))
+            ev.succeed()
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_process_waiting_on_process(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(3.0)
+            return 7
+
+        def parent(sim, c):
+            value = yield c
+            return value * 2
+
+        c = sim.process(child(sim))
+        p = sim.process(parent(sim, c))
+        sim.run()
+        assert p.value == 14 and sim.now == 3.0
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            sim.process("not a generator")  # type: ignore[arg-type]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_failed_event_raises_inside_process(self):
+        sim = Simulator()
+        caught = []
+
+        def gen(sim, ev):
+            try:
+                yield ev
+            except ValueError as e:
+                caught.append(str(e))
+            return "recovered"
+
+        ev = sim.event()
+        p = sim.process(gen(sim, ev))
+        ev.fail(ValueError("bad"), delay=1.0)
+        sim.run()
+        assert caught == ["bad"] and p.value == "recovered"
+
+    def test_interrupt_resumes_with_exception(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                log.append((sim.now, i.cause))
+            return "done"
+
+        def interrupter(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt("wake up")
+
+        p = sim.process(sleeper(sim))
+        sim.process(interrupter(sim, p))
+        sim.run()
+        assert log == [(2.0, "wake up")] and p.value == "done"
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(0.1)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        p.interrupt()  # must not raise
+        sim.run()
+
+    def test_stale_wakeup_after_interrupt_ignored(self):
+        sim = Simulator()
+        resumed = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(5.0)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield sim.timeout(10.0)
+            resumed.append("second")
+
+        p = sim.process(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.process(interrupter(sim))
+        sim.run()
+        # Original 5s timeout firing at t=5 must not resume the process again.
+        assert resumed == ["interrupt", "second"]
+        assert sim.now == 11.0
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+        events = [sim.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        combo = sim.all_of(events)
+        sim.run()
+        assert combo.fired and combo.value == [3.0, 1.0, 2.0]
+        assert sim.now == 3.0
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        combo = sim.all_of([])
+        sim.run()
+        assert combo.fired and combo.value == []
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        events = [sim.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        combo = sim.any_of(events)
+
+        def waiter(sim):
+            value = yield combo
+            return value
+
+        p = sim.process(waiter(sim))
+        sim.run()
+        assert p.value == (1, 1.0)
+
+    def test_any_of_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            sim.any_of([])
+
+
+class TestRun:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        assert sim.run(until=4.0) == 4.0
+        assert sim.peek() == 10.0
+
+    def test_run_past_all_events_advances_to_until(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        assert sim.run(until=100.0) == 100.0
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+
+        def stuck(sim):
+            yield sim.event("never")
+
+        sim.process(stuck(sim), name="stuck-proc")
+        with pytest.raises(SimDeadlock) as exc:
+            sim.run(check_deadlock=True)
+        assert "stuck-proc" in str(exc.value)
+
+    def test_no_deadlock_when_all_finish(self):
+        sim = Simulator()
+
+        def fine(sim):
+            yield sim.timeout(1.0)
+
+        sim.process(fine(sim))
+        sim.run(check_deadlock=True)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

@@ -1,0 +1,78 @@
+"""Unit tests for the communication cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommCost, CommModel
+
+
+class TestCommCost:
+    def test_alpha_beta(self):
+        c = CommCost(latency=0.001, bandwidth=1e6)
+        assert c.time(0) == pytest.approx(0.001)
+        assert c.time(1_000_000) == pytest.approx(1.001)
+
+    def test_infinite_bandwidth(self):
+        c = CommCost(latency=0.5, bandwidth=float("inf"))
+        assert c.time(10**9) == 0.5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ClusterError):
+            CommCost(0.0, 1.0).time(-1)
+
+    @pytest.mark.parametrize("lat,bw", [(-1.0, 1.0), (0.0, 0.0), (0.0, -5.0)])
+    def test_invalid_params(self, lat, bw):
+        with pytest.raises(ClusterError):
+            CommCost(latency=lat, bandwidth=bw)
+
+
+class TestCommModel:
+    @pytest.fixture
+    def cluster(self):
+        return ClusterSpec(nodes=2, procs_per_node=2)
+
+    def test_three_tiers(self, cluster):
+        m = CommModel(
+            cluster,
+            intra_node=CommCost(1.0, float("inf")),
+            inter_node=CommCost(10.0, float("inf")),
+        )
+        assert m.transfer_time(100, 0, 0) == 0.0      # same processor
+        assert m.transfer_time(100, 0, 1) == 1.0      # same node
+        assert m.transfer_time(100, 1, 2) == 10.0     # cross node
+
+    def test_free_model(self, cluster):
+        m = CommModel.free(cluster)
+        assert m.transfer_time(10**9, 0, 3) == 0.0
+
+    def test_uniform_model(self, cluster):
+        m = CommModel.uniform(cluster, latency=2.0, bandwidth=float("inf"))
+        assert m.transfer_time(0, 0, 1) == 2.0
+        assert m.transfer_time(0, 0, 2) == 2.0
+        assert m.transfer_time(0, 1, 1) == 0.0
+
+    def test_worst_case_includes_inter_node_only_multinode(self, cluster):
+        m = CommModel(
+            cluster,
+            intra_node=CommCost(1.0, float("inf")),
+            inter_node=CommCost(5.0, float("inf")),
+        )
+        assert m.worst_case(0) == 5.0
+        single = CommModel(
+            ClusterSpec(1, 4),
+            intra_node=CommCost(1.0, float("inf")),
+            inter_node=CommCost(5.0, float("inf")),
+        )
+        assert single.worst_case(0) == 1.0
+
+    def test_defaults_ordered(self, cluster):
+        m = CommModel(cluster)
+        size = 100_000
+        assert (
+            m.transfer_time(size, 0, 0)
+            < m.transfer_time(size, 0, 1)
+            < m.transfer_time(size, 0, 2)
+        )

@@ -1,0 +1,158 @@
+"""Unit tests for Resource and Store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=2)
+        e1, e2, e3 = r.request(), r.request(), r.request()
+        assert e1.triggered and e2.triggered and not e3.triggered
+        assert r.in_use == 2 and r.queue_length == 1
+
+    def test_release_wakes_fifo(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+        order = []
+
+        def job(sim, r, name, work):
+            grant = yield r.request()
+            yield sim.timeout(work)
+            order.append(name)
+            r.release(grant)
+
+        for name in ("a", "b", "c"):
+            sim.process(job(sim, r, name, 1.0))
+        sim.run()
+        assert order == ["a", "b", "c"] and sim.now == 3.0
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+        with pytest.raises(ProcessError):
+            r.release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ProcessError):
+            Resource(Simulator(), capacity=0)
+
+    def test_cancel_pending_request(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+        r.request()
+        pending = r.request()
+        assert r.cancel(pending) is True
+        assert r.cancel(pending) is False  # already removed
+        assert r.queue_length == 0
+
+    def test_available_accounting(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=3)
+        g = r.request()
+        assert r.available == 2
+        r.release(g)
+        assert r.available == 3
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put("x")
+        got = s.get()
+        assert got.triggered and got.value == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        s = Store(sim)
+        result = []
+
+        def consumer(sim, s):
+            item = yield s.get()
+            result.append((sim.now, item))
+
+        def producer(sim, s):
+            yield sim.timeout(2.0)
+            yield s.put("late")
+
+        sim.process(consumer(sim, s))
+        sim.process(producer(sim, s))
+        sim.run()
+        assert result == [(2.0, "late")]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        s = Store(sim)
+        for i in range(5):
+            s.put(i)
+        values = [s.get().value for _ in range(5)]
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        s = Store(sim, capacity=1)
+        done = []
+
+        def producer(sim, s):
+            yield s.put("a")
+            yield s.put("b")   # blocks until consumer gets "a"
+            done.append(sim.now)
+
+        def consumer(sim, s):
+            yield sim.timeout(3.0)
+            yield s.get()
+
+        sim.process(producer(sim, s))
+        sim.process(consumer(sim, s))
+        sim.run()
+        assert done == [3.0]
+
+    def test_is_full(self):
+        sim = Simulator()
+        s = Store(sim, capacity=2)
+        s.put(1)
+        assert not s.is_full
+        s.put(2)
+        assert s.is_full
+
+    def test_try_get(self):
+        sim = Simulator()
+        s = Store(sim)
+        assert s.try_get() == (False, None)
+        s.put("v")
+        assert s.try_get() == (True, "v")
+
+    def test_peek_does_not_remove(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put("head")
+        assert s.peek() == "head"
+        assert len(s) == 1
+
+    def test_drain(self):
+        sim = Simulator()
+        s = Store(sim)
+        for i in range(3):
+            s.put(i)
+        assert s.drain() == [0, 1, 2]
+        assert len(s) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ProcessError):
+            Store(Simulator(), capacity=0)
+
+    def test_handoff_to_waiting_getter(self):
+        sim = Simulator()
+        s = Store(sim, capacity=1)
+        got = s.get()           # waits
+        assert not got.triggered
+        put = s.put("direct")   # hand straight to the getter
+        assert put.triggered and got.triggered and got.value == "direct"
+        assert len(s) == 0

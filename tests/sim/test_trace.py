@@ -1,0 +1,85 @@
+"""Unit tests for the execution trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import ExecSpan, ItemEvent, TraceRecorder
+
+
+def span(proc, task, ts, start, end, **kw):
+    return ExecSpan(proc=proc, task=task, timestamp=ts, start=start, end=end, **kw)
+
+
+class TestExecSpan:
+    def test_duration(self):
+        assert span(0, "t", 0, 1.0, 3.5).duration == 2.5
+
+    def test_overlaps(self):
+        a = span(0, "a", 0, 0.0, 2.0)
+        assert a.overlaps(span(0, "b", 0, 1.0, 3.0))
+        assert not a.overlaps(span(0, "b", 0, 2.0, 3.0))  # touching is fine
+
+
+class TestTraceRecorder:
+    @pytest.fixture
+    def trace(self):
+        t = TraceRecorder()
+        t.record_span(span(0, "T1", 0, 0.0, 1.0))
+        t.record_span(span(1, "T2", 0, 1.0, 2.0))
+        t.record_span(span(0, "T1", 1, 1.0, 2.0))
+        t.record_span(span(1, "T2", 1, 2.0, 3.0))
+        return t
+
+    def test_reversed_span_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record_span(span(0, "t", 0, 2.0, 1.0))
+
+    def test_views(self, trace):
+        assert [s.task for s in trace.spans_on(0)] == ["T1", "T1"]
+        assert [s.timestamp for s in trace.spans_of("T2")] == [0, 1]
+        assert len(trace.spans_for_timestamp(1)) == 2
+        assert trace.timestamps() == [0, 1]
+        assert trace.processors() == [0, 1]
+        assert trace.tasks() == ["T1", "T2"]
+
+    def test_makespan(self, trace):
+        assert trace.makespan == 3.0
+
+    def test_completion_time_any(self, trace):
+        assert trace.completion_time(0) == 2.0
+
+    def test_completion_time_with_sinks(self, trace):
+        assert trace.completion_time(0, sink_tasks=["T2"]) == 2.0
+        assert trace.completion_time(0, sink_tasks=["T3"]) is None
+
+    def test_completion_ignores_preempted_sink_spans(self):
+        t = TraceRecorder()
+        t.record_span(span(0, "T2", 0, 0.0, 1.0, preempted=True))
+        assert t.completion_time(0, sink_tasks=["T2"]) is None
+
+    def test_start_time(self, trace):
+        assert trace.start_time(1) == 1.0
+        assert trace.start_time(1, source_tasks=["T2"]) == 2.0
+
+    def test_completed_timestamps(self, trace):
+        assert trace.completed_timestamps(["T2"]) == [0, 1]
+
+    def test_busy_time_and_utilization(self, trace):
+        assert trace.busy_time(0) == 2.0
+        assert trace.busy_time(0, until=1.5) == 1.5
+        assert trace.utilization([0, 1]) == pytest.approx((2.0 + 2.0) / (3.0 * 2))
+
+    def test_item_events(self, trace):
+        trace.record_item(ItemEvent(0.5, "frame", "put", 0, task="T1"))
+        assert trace.items[0].channel == "frame"
+
+    def test_clear(self, trace):
+        trace.clear()
+        assert len(trace) == 0 and trace.makespan == 0.0
+
+    def test_empty_trace(self):
+        t = TraceRecorder()
+        assert t.completion_time(0) is None
+        assert t.utilization([0]) == 0.0
+        assert t.busy_time(5) == 0.0

@@ -1,0 +1,114 @@
+"""Unit tests for STM garbage collection and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateNameError, STMError, UnknownNameError
+from repro.graph.builders import chain_graph
+from repro.stm.channel import STMChannel
+from repro.stm.gc import GCStats, collect_all, collect_channel
+from repro.stm.registry import STMRegistry
+
+
+class TestCollect:
+    def test_item_lives_until_all_inputs_consume(self):
+        chan = STMChannel("c")
+        out = chan.attach_output("p")
+        a = chan.attach_input("a")
+        b = chan.attach_input("b")
+        chan.put(out, 0, "x", size=10)
+        chan.consume(a, 0)
+        assert collect_channel(chan) == 0
+        chan.consume(b, 0)
+        assert collect_channel(chan) == 1
+        assert len(chan) == 0
+
+    def test_no_inputs_means_nothing_collectible(self):
+        chan = STMChannel("c")
+        out = chan.attach_output("p")
+        chan.put(out, 0, "x")
+        assert collect_channel(chan) == 0
+
+    def test_detach_releases_obligation(self):
+        chan = STMChannel("c")
+        out = chan.attach_output("p")
+        a = chan.attach_input("a")
+        b = chan.attach_input("b")
+        chan.put(out, 0, "x")
+        chan.consume(a, 0)
+        chan.detach(b)  # b's obligation disappears with it
+        assert collect_channel(chan) == 1
+
+    def test_skipped_frames_freed_by_implicit_consume(self):
+        """A consumer that jumps to the newest frame frees the skipped ones."""
+        chan = STMChannel("c")
+        out = chan.attach_output("p")
+        inp = chan.attach_input("q")
+        for ts in range(10):
+            chan.put(out, ts, ts)
+        chan.get(inp, 9)
+        chan.consume(inp, 9)
+        assert collect_channel(chan) == 10
+
+    def test_stats_track_high_water_and_bytes(self):
+        chan = STMChannel("c")
+        out = chan.attach_output("p")
+        inp = chan.attach_input("q")
+        stats = GCStats()
+        for ts in range(4):
+            chan.put(out, ts, ts, size=100)
+        chan.consume(inp, 3)
+        collected = collect_channel(chan, stats)
+        assert collected == 4
+        assert stats.high_water_items == 4
+        assert stats.high_water_bytes == 400
+        assert stats.bytes_freed == 400
+        assert stats.calls == 1
+
+    def test_collect_all(self):
+        chans = []
+        for i in range(3):
+            c = STMChannel(f"c{i}")
+            o = c.attach_output("p")
+            q = c.attach_input("q")
+            c.put(o, 0, "x")
+            c.consume(q, 0)
+            chans.append(c)
+        assert collect_all(chans) == 3
+
+
+class TestRegistry:
+    def test_create_and_lookup(self):
+        reg = STMRegistry()
+        reg.create("a", capacity=2)
+        assert "a" in reg and reg.channel("a").capacity == 2
+
+    def test_duplicate_rejected(self):
+        reg = STMRegistry()
+        reg.create("a")
+        with pytest.raises(DuplicateNameError):
+            reg.create("a")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownNameError):
+            STMRegistry().channel("ghost")
+
+    def test_home_nodes(self):
+        reg = STMRegistry(nodes=2)
+        reg.create("a", home_node=1)
+        assert reg.home_node("a") == 1
+        with pytest.raises(STMError):
+            reg.create("b", home_node=5)
+
+    def test_from_graph(self):
+        g = chain_graph([1.0, 1.0, 1.0])
+        reg = STMRegistry.from_graph(g)
+        assert len(reg) == 2 and "c0" in reg and "c1" in reg
+
+    def test_live_accounting(self):
+        reg = STMRegistry()
+        c = reg.create("a")
+        out = c.attach_output("p")
+        c.put(out, 0, "x", size=64)
+        assert reg.live_bytes() == 64 and reg.live_items() == 1
