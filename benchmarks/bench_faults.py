@@ -1,0 +1,52 @@
+"""Benchmark: the fault-tolerance sweep — failure rate x transition policy.
+
+Regenerates the §3.4-style amortization table for failures-as-regime-changes
+and asserts its qualitative shape: a fault-free run is lossless, low
+failure rates amortize the transition stall for every policy, and at high
+rates the work-preserving policies (drain, checkpoint) blow the stall
+budget while immediate stays cheap by abandoning in-flight frames.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.faults_exp import run_faults
+
+
+def test_faults_sweep_regeneration(benchmark):
+    result = benchmark.pedantic(run_faults, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    healthy = [r for r in result.rows if r.rate == 0.0]
+    assert all(r.completed == r.emitted for r in healthy)
+    assert all(r.recovery.availability == 1.0 for r in healthy)
+    assert all(r.amortization_holds for r in healthy)
+
+    low = [r for r in result.rows if r.rate == 0.01]
+    assert all(r.recovery.crashes >= 1 for r in low)
+    assert all(r.amortization_holds for r in low)
+
+    # The §3.4 argument breaks for work-preserving policies at high rate.
+    assert result.breaking_rate("drain") == 0.08
+    assert result.breaking_rate("checkpoint") == 0.08
+    assert result.breaking_rate("immediate") is None
+
+
+def test_policy_trade_under_failures(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_faults(rates=(0.08,)), rounds=1, iterations=1
+    )
+    rows = {r.policy: r for r in result.rows}
+    drain, imm, chk = rows["drain"], rows["immediate"], rows["checkpoint"]
+
+    # Immediate buys its short stall with abandoned frames...
+    assert imm.stall_fraction < drain.stall_fraction
+    assert imm.recovery.frames_lost_transition > 0
+    assert drain.recovery.frames_lost_transition == 0
+    # ...while checkpoint converts transition losses into replays.
+    assert chk.recovery.frames_lost_transition == 0
+    assert chk.recovery.frames_replayed > 0
+
+    # Every policy pays the same detection latency (same plan, same
+    # detector); what differs is what the transition does afterwards.
+    assert drain.recovery.detection_latency_mean > 0

@@ -15,6 +15,8 @@ them.  EXPERIMENTS.md records paper-vs-measured for each.
   arrival process.
 * :mod:`repro.experiments.ablations` — design-choice ablations (switch
   frequency, interpolation, communication cost, flow control, quantum).
+* :mod:`repro.experiments.faults_exp` — fault tolerance: failure rate x
+  transition policy, probing where §3.4's amortization argument breaks.
 """
 
 from repro.experiments.table1 import run_table1, Table1Result
@@ -22,6 +24,7 @@ from repro.experiments.figure3 import run_figure3, Figure3Result
 from repro.experiments.figure4 import run_figure4, Figure4Result
 from repro.experiments.figure5 import run_figure5, Figure5Result
 from repro.experiments.regime import run_regime, RegimeResult
+from repro.experiments.faults_exp import run_faults, FaultsResult
 
 __all__ = [
     "run_table1",
@@ -34,4 +37,6 @@ __all__ = [
     "Figure5Result",
     "run_regime",
     "RegimeResult",
+    "run_faults",
+    "FaultsResult",
 ]

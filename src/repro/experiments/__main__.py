@@ -6,6 +6,7 @@
     python -m repro.experiments figure5
     python -m repro.experiments regime
     python -m repro.experiments ablations
+    python -m repro.experiments faults
     python -m repro.experiments all
     python -m repro.experiments all --output results.txt
 """
@@ -25,7 +26,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "figure3", "figure4", "figure5", "regime",
-                 "ablations", "frontier", "all"],
+                 "ablations", "frontier", "faults", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -46,6 +47,7 @@ def main(argv: list[str] | None = None) -> int:
         "regime": _regime,
         "ablations": _ablations,
         "frontier": _frontier,
+        "faults": _faults,
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     chunks: list[str] = []
@@ -102,6 +104,13 @@ def _frontier(quick: bool) -> str:
 
     counts = (8,) if quick else (1, 4, 8)
     return run_frontier(model_counts=counts).render()
+
+
+def _faults(quick: bool) -> str:
+    from repro.experiments.faults_exp import run_faults
+
+    rates = (0.0, 0.08) if quick else (0.0, 0.02, 0.08)
+    return run_faults(rates=rates, iterations=20 if quick else 40).render()
 
 
 def _ablations(quick: bool) -> str:

@@ -1,0 +1,69 @@
+"""Fault tolerance: failures as detectable regime changes.
+
+The paper's constrained-dynamism argument (§3.4) — a small set of
+detectable state changes selecting among pre-computed optimal schedules —
+extends directly to partial cluster failure: losing a node is a
+detectable transition to a new *cluster shape*, and the same table-lookup
+plus schedule-transition machinery that handles application state changes
+handles it.  This package supplies the pieces:
+
+* :mod:`~repro.faults.events` — fault plans: deterministic, validated
+  scripts of node crashes, processor losses, slowdowns, and recoveries.
+* :mod:`~repro.faults.view` — :class:`ClusterView`, the mutable degraded
+  view of an immutable :class:`~repro.sim.cluster.ClusterSpec`.
+* :mod:`~repro.faults.inject` — :class:`FaultInjector`, replaying a plan
+  against the view inside the simulation.
+* :mod:`~repro.faults.detect` — :class:`FailureDetector`, heartbeat
+  monitoring with configurable, bounded detection latency.
+* :mod:`~repro.faults.failover` — :class:`ShapeTable` (one pre-computed
+  optimal schedule per reachable degraded shape) and
+  :class:`FailoverController` (detection → look-up → transition).
+* :mod:`~repro.faults.retry` — backoff wrappers bounding STM waits so a
+  dead producer costs a timeout, not a deadlock.
+* :mod:`~repro.faults.runner` — :class:`FaultTolerantExecutor`, the
+  integration: inject → detect → fail over → recover, with per-cause
+  frame-loss accounting.
+"""
+
+from repro.faults.events import (
+    FaultEvent,
+    FaultPlan,
+    NodeCrash,
+    NodeRecovery,
+    NodeSlowdown,
+    ProcessorLoss,
+)
+from repro.faults.view import ClusterView
+from repro.faults.inject import AppliedFault, FaultInjector
+from repro.faults.detect import Detection, FailureDetector
+from repro.faults.failover import (
+    FailoverController,
+    FailoverRecord,
+    ShapeTable,
+    reachable_shapes,
+)
+from repro.faults.retry import RetryPolicy, get_with_retry, put_with_retry
+from repro.faults.runner import FaultRuntime, FaultTolerantExecutor
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "NodeCrash",
+    "NodeRecovery",
+    "NodeSlowdown",
+    "ProcessorLoss",
+    "ClusterView",
+    "AppliedFault",
+    "FaultInjector",
+    "Detection",
+    "FailureDetector",
+    "FailoverController",
+    "FailoverRecord",
+    "ShapeTable",
+    "reachable_shapes",
+    "RetryPolicy",
+    "get_with_retry",
+    "put_with_retry",
+    "FaultRuntime",
+    "FaultTolerantExecutor",
+]

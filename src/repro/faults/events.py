@@ -1,0 +1,207 @@
+"""Fault events and fault plans.
+
+A *fault plan* is the deterministic script of failures a run will suffer:
+an ordered sequence of timed :class:`FaultEvent` records.  Determinism is
+the point — the same plan against the same seed produces the identical
+trace, so recovery behaviour is testable span-for-span (the same property
+the simulation kernel guarantees for normal execution).
+
+Four event kinds cover the regimes the paper's constrained-dynamism
+argument extends to:
+
+* :class:`NodeCrash` — an SMP node (and every processor in it) dies.
+* :class:`ProcessorLoss` — a single processor dies; its node survives.
+* :class:`NodeSlowdown` — a node's relative speed drops (thermal
+  throttling, a co-located job); detectable but not fatal.
+* :class:`NodeRecovery` — a crashed node rejoins at nominal speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import FaultPlanError
+from repro.sim.cluster import ClusterSpec
+
+__all__ = [
+    "FaultEvent",
+    "NodeCrash",
+    "ProcessorLoss",
+    "NodeSlowdown",
+    "NodeRecovery",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault occurrence (base class)."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultPlanError(f"fault event scheduled in the past: {self}")
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Node ``node`` and all of its processors fail at ``time``."""
+
+    node: int = 0
+
+
+@dataclass(frozen=True)
+class ProcessorLoss(FaultEvent):
+    """Physical processor ``proc`` fails at ``time``; its node survives."""
+
+    proc: int = 0
+
+
+@dataclass(frozen=True)
+class NodeSlowdown(FaultEvent):
+    """Node ``node`` runs at ``factor`` x nominal speed from ``time`` on."""
+
+    node: int = 0
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.factor:
+            raise FaultPlanError(f"slowdown factor must be positive: {self}")
+
+
+@dataclass(frozen=True)
+class NodeRecovery(FaultEvent):
+    """Node ``node`` rejoins at nominal speed at ``time``."""
+
+    node: int = 0
+
+
+class FaultPlan:
+    """An ordered, validated sequence of fault events.
+
+    >>> plan = FaultPlan([NodeCrash(time=5.0, node=1)])
+    >>> len(plan)
+    1
+    """
+
+    def __init__(self, events: Iterable[FaultEvent]) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, _kind_rank(e)))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def validate(self, cluster: ClusterSpec) -> None:
+        """Check every event targets something the cluster actually has."""
+        for ev in self.events:
+            if isinstance(ev, (NodeCrash, NodeSlowdown, NodeRecovery)):
+                if not 0 <= ev.node < cluster.nodes:
+                    raise FaultPlanError(
+                        f"{ev} targets node {ev.node}; cluster has {cluster.nodes}"
+                    )
+            elif isinstance(ev, ProcessorLoss):
+                if not 0 <= ev.proc < cluster.total_processors:
+                    raise FaultPlanError(
+                        f"{ev} targets processor {ev.proc}; cluster has "
+                        f"{cluster.total_processors}"
+                    )
+
+    @classmethod
+    def crash_at(cls, time: float, node: int, recover_at: float | None = None) -> "FaultPlan":
+        """The canonical single-failure plan (optionally with recovery)."""
+        events: list[FaultEvent] = [NodeCrash(time=time, node=node)]
+        if recover_at is not None:
+            if recover_at <= time:
+                raise FaultPlanError(
+                    f"recovery at {recover_at} precedes crash at {time}"
+                )
+            events.append(NodeRecovery(time=recover_at, node=node))
+        return cls(events)
+
+    @classmethod
+    def poisson(
+        cls,
+        cluster: ClusterSpec,
+        horizon: float,
+        rate: float,
+        seed: int,
+        mean_downtime: float | None = None,
+        kinds: tuple[str, ...] = ("node",),
+    ) -> "FaultPlan":
+        """Seeded random crashes at ``rate`` failures/second over ``horizon``.
+
+        Crash victims cycle over nodes (``"node"`` kind) and processors
+        (``"proc"`` kind) drawn uniformly; with ``mean_downtime`` each node
+        crash schedules an exponential-downtime recovery.  Everything is
+        driven by one :class:`random.Random`, so the plan is a pure
+        function of its arguments.
+        """
+        if horizon <= 0:
+            raise FaultPlanError(f"horizon must be positive, got {horizon}")
+        if rate < 0:
+            raise FaultPlanError(f"rate must be >= 0, got {rate}")
+        rng = random.Random(seed)
+        events: list[FaultEvent] = []
+        t = 0.0
+        # A node is down in [crash, down_until[node]); infinity = forever.
+        down_until: dict[int, float] = {}
+
+        def up(node: int) -> bool:
+            return t >= down_until.get(node, 0.0)
+
+        while rate > 0:
+            t += rng.expovariate(rate)
+            if t >= horizon:
+                break
+            kind = kinds[rng.randrange(len(kinds))]
+            if kind == "node":
+                alive = [n for n in range(cluster.nodes) if up(n)]
+                if len(alive) <= 1:
+                    continue  # never kill the last node
+                node = alive[rng.randrange(len(alive))]
+                events.append(NodeCrash(time=t, node=node))
+                down_until[node] = float("inf")
+                if mean_downtime is not None:
+                    back = t + rng.expovariate(1.0 / mean_downtime)
+                    if back < horizon:
+                        events.append(NodeRecovery(time=back, node=node))
+                        down_until[node] = back
+            elif kind == "proc":
+                proc = rng.randrange(cluster.total_processors)
+                if not up(cluster.node_of(proc)):
+                    continue
+                events.append(ProcessorLoss(time=t, proc=proc))
+            elif kind == "slow":
+                node = rng.randrange(cluster.nodes)
+                if not up(node):
+                    continue
+                events.append(
+                    NodeSlowdown(time=t, node=node, factor=0.25 + 0.5 * rng.random())
+                )
+            else:
+                raise FaultPlanError(f"unknown fault kind {kind!r}")
+        plan = cls(events)
+        plan.validate(cluster)
+        return plan
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.events)} events)"
+
+
+def _kind_rank(ev: FaultEvent) -> int:
+    """Stable same-time ordering: crashes before recoveries."""
+    for rank, kind in enumerate((NodeCrash, ProcessorLoss, NodeSlowdown, NodeRecovery)):
+        if isinstance(ev, kind):
+            return rank
+    return 99

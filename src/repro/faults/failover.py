@@ -1,0 +1,233 @@
+"""Failover: degraded cluster shapes as schedule regimes.
+
+§3.4 of the paper: pre-compute the optimal schedule for each state, then on
+a state change "perform a table look-up to determine the new schedule ...
+perform a transition to the new schedule".  A partial cluster failure *is*
+such a state change — infrequent, detectable (heartbeats), and drawn from
+a small set (single-node loss, single-processor loss, slowdown regimes) —
+so failover reuses the machinery verbatim:
+
+* :class:`ShapeTable` is the off-line artifact: one
+  :class:`~repro.core.optimal.ScheduleSolution` per *reachable degraded
+  shape*, keyed canonically (losing node 0 of a homogeneous cluster is the
+  same scheduling problem as losing node 3, so the table stays small).
+* :class:`FailoverController` is the on-line component: it subscribes to a
+  :class:`~repro.faults.detect.FailureDetector`, and on each confirmed
+  detection performs the table look-up plus a transition through any
+  :class:`~repro.core.transition.TransitionPolicy` — including the new
+  :class:`~repro.core.transition.CheckpointTransition`, which replays the
+  timestamps that were in flight when the node died from their STM items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.core.optimal import OptimalScheduler, ScheduleSolution
+from repro.core.transition import DrainTransition, TransitionEffect, TransitionPolicy
+from repro.errors import InfeasibleSchedule, ScheduleError, ShapeUnschedulable
+from repro.faults.detect import Detection
+from repro.faults.view import ClusterView
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import ClusterSpec
+from repro.state import State
+
+__all__ = ["reachable_shapes", "ShapeTable", "FailoverRecord", "FailoverController"]
+
+
+def reachable_shapes(
+    base: ClusterSpec,
+    max_node_failures: int = 1,
+    proc_failures: bool = True,
+) -> list[ClusterSpec]:
+    """Enumerate the degraded shapes a fault plan can reach.
+
+    Covers the base shape, every combination of up to ``max_node_failures``
+    node losses, and (optionally) one additional single-processor loss on
+    top of each of those — the "small number of states" constrained
+    dynamism needs.  Shapes identical up to node reordering are emitted
+    once.
+    """
+    seen: dict[tuple, ClusterSpec] = {}
+
+    def add(spec: ClusterSpec) -> None:
+        seen.setdefault(spec.shape_key(), spec)
+
+    def node_losses(spec: ClusterSpec, budget: int) -> None:
+        add(spec)
+        if budget <= 0 or spec.nodes <= 1:
+            return
+        for n in range(spec.nodes):
+            node_losses(spec.without_node(n), budget - 1)
+
+    node_losses(base, max_node_failures)
+    if proc_failures:
+        for spec in list(seen.values()):
+            if spec.total_processors > 1:
+                for p in range(spec.total_processors):
+                    add(spec.without_processor(p))
+    return list(seen.values())
+
+
+class ShapeTable:
+    """Pre-computed optimal schedules, one per degraded cluster shape.
+
+    The cluster-shape analogue of :class:`~repro.core.table.ScheduleTable`
+    (which is keyed by application state): same application state, varying
+    platform.
+
+    >>> from repro.graph.builders import chain_graph
+    >>> table = ShapeTable.build(
+    ...     chain_graph([1.0, 1.0]),
+    ...     State(n_models=1),
+    ...     ClusterSpec(nodes=2, procs_per_node=1),
+    ... )
+    >>> len(table) >= 2
+    True
+    """
+
+    def __init__(self, solutions: dict[tuple, ScheduleSolution]) -> None:
+        if not solutions:
+            raise ShapeUnschedulable("shape table needs at least one shape")
+        self._solutions = dict(solutions)
+
+    @classmethod
+    def build(
+        cls,
+        graph: TaskGraph,
+        state: State,
+        base: ClusterSpec,
+        max_node_failures: int = 1,
+        proc_failures: bool = True,
+        scheduler_factory: Optional[Callable[[ClusterSpec], OptimalScheduler]] = None,
+        progress: Optional[Callable[[ClusterSpec, ScheduleSolution], None]] = None,
+    ) -> "ShapeTable":
+        """Run the Figure 6 optimizer once per reachable degraded shape.
+
+        Shapes the application cannot run on (e.g. fewer processors than a
+        mandatory data-parallel width) are skipped; looking them up later
+        raises :class:`~repro.errors.ShapeUnschedulable`.
+        """
+        factory = scheduler_factory or (lambda spec: OptimalScheduler(spec))
+        solutions: dict[tuple, ScheduleSolution] = {}
+        for spec in reachable_shapes(base, max_node_failures, proc_failures):
+            try:
+                sol = factory(spec).solve(graph, state)
+            except (InfeasibleSchedule, ScheduleError):
+                continue
+            solutions[spec.shape_key()] = sol
+            if progress is not None:
+                progress(spec, sol)
+        if not solutions:
+            raise ShapeUnschedulable(
+                f"no reachable shape of {base!r} can run the application"
+            )
+        return cls(solutions)
+
+    def lookup(self, shape: ClusterSpec) -> ScheduleSolution:
+        """The pre-computed solution for a degraded shape (canonical match)."""
+        try:
+            return self._solutions[shape.shape_key()]
+        except KeyError:
+            raise ShapeUnschedulable(
+                f"no pre-computed schedule for shape {shape!r}; table covers "
+                f"{len(self._solutions)} shapes"
+            ) from None
+
+    def __contains__(self, shape: ClusterSpec) -> bool:
+        return shape.shape_key() in self._solutions
+
+    def __len__(self) -> int:
+        return len(self._solutions)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._solutions)
+
+    def solutions(self) -> list[ScheduleSolution]:
+        """All pre-computed solutions (arbitrary but stable order)."""
+        return list(self._solutions.values())
+
+    def summary(self) -> str:
+        """Multi-line human-readable table."""
+        lines = []
+        for key, sol in self._solutions.items():
+            shape = "+".join(str(p) for p, _s in key)
+            lines.append(f"shape [{shape}]: {sol.summary()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FailoverRecord:
+    """One executed failover with its accounted transition cost."""
+
+    time: float
+    detection: Detection
+    effect: TransitionEffect
+    new_solution: ScheduleSolution
+
+
+class FailoverController:
+    """On-line failover: detection -> table look-up -> transition.
+
+    The controller is runtime-agnostic: executors read ``active`` (the
+    solution to run), ``mapping`` (shape index -> physical processor) and
+    ``resume_at`` (end of the current transition stall), all of which the
+    controller updates at the simulated instant a detection arrives.
+    """
+
+    def __init__(
+        self,
+        table: ShapeTable,
+        view: ClusterView,
+        policy: Optional[TransitionPolicy] = None,
+    ) -> None:
+        self.table = table
+        self.view = view
+        self.policy = policy or DrainTransition()
+        self.active: ScheduleSolution = table.lookup(view.shape())
+        self.mapping: dict[int, int] = view.shape_to_physical()
+        self.resume_at: float = 0.0
+        self.failovers: list[FailoverRecord] = []
+        self.total_stall = 0.0
+        self.total_lost_iterations = 0
+        self.total_replayed_iterations = 0
+
+    def attach(self, detector) -> None:
+        """Subscribe to a :class:`~repro.faults.detect.FailureDetector`."""
+        detector.subscribe(self.on_detection)
+
+    def on_detection(self, det: Detection) -> Optional[FailoverRecord]:
+        """React to one confirmed detection; returns a record iff we switched."""
+        new = self.table.lookup(self.view.shape())
+        mapping = self.view.shape_to_physical()
+        if new is self.active and mapping == self.mapping:
+            return None
+        old = self.active
+        effect = self.policy.effect(old, new)
+        self.active = new
+        self.mapping = mapping
+        self.resume_at = max(self.resume_at, det.time + effect.stall)
+        record = FailoverRecord(
+            time=det.time, detection=det, effect=effect, new_solution=new
+        )
+        self.failovers.append(record)
+        self.total_stall += effect.stall
+        self.total_lost_iterations += effect.lost_iterations
+        self.total_replayed_iterations += effect.replayed_iterations
+        return record
+
+    def physical_procs(self, shape_procs: tuple[int, ...]) -> tuple[int, ...]:
+        """Translate a placement's shape-indexed processors to physical ones."""
+        return tuple(self.mapping[p] for p in shape_procs)
+
+    @property
+    def failover_count(self) -> int:
+        """Number of schedule switches executed."""
+        return len(self.failovers)
+
+    def __repr__(self) -> str:
+        return (
+            f"FailoverController(failovers={len(self.failovers)}, "
+            f"stall={self.total_stall:g}s, policy={self.policy!r})"
+        )

@@ -1,0 +1,120 @@
+"""Retry/backoff wrappers for STM operations under failures.
+
+Without faults, a consumer that waits on a channel mutation event sleeps
+until its producer puts the next item — and if the producer died
+mid-iteration, it sleeps forever: the drain-phase deadlock the simulator
+would otherwise report.  These wrappers bound that wait: retry on a
+backoff schedule (racing the channel-change event, so a hit is still
+serviced immediately) and raise :class:`~repro.errors.FaultTimeout` once
+the budget is exhausted.  The caller then *skips the frame* — the lost
+item is accounted, not waited for.
+
+``put`` gets the same treatment for the symmetric failure: a producer
+blocked on a full channel whose consumer died never sees capacity again.
+
+Both wrappers are generators usable from any simulated process::
+
+    got = yield from get_with_retry(hub, conn, ts, policy=RetryPolicy())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import FaultTimeout
+from repro.runtime.hub import ChannelHub
+from repro.stm.channel import Timestamp
+from repro.stm.connection import Connection
+
+__all__ = ["RetryPolicy", "get_with_retry", "put_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff budget for STM operations.
+
+    Attributes
+    ----------
+    max_attempts:
+        Attempts before giving up (>= 1).
+    base_delay:
+        First backoff sleep, in simulated seconds.
+    factor:
+        Multiplier between successive sleeps.
+    max_delay:
+        Backoff ceiling.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay <= 0 or self.factor < 1.0 or self.max_delay < self.base_delay:
+            raise ValueError(f"invalid backoff schedule {self}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.base_delay * self.factor**attempt, self.max_delay)
+
+    @property
+    def budget(self) -> float:
+        """Total simulated seconds the policy is willing to wait."""
+        return sum(self.delay(i) for i in range(self.max_attempts))
+
+
+def get_with_retry(
+    hub: ChannelHub,
+    conn: Connection,
+    ts: Timestamp,
+    policy: Optional[RetryPolicy] = None,
+):
+    """Get ``ts`` from ``hub``, retrying with backoff; raises FaultTimeout.
+
+    Each miss waits for min(backoff, next channel change) — a producer that
+    is merely slow wakes the consumer the moment the item lands, while a
+    producer that died costs at most the policy's budget instead of
+    forever.  Returns ``(timestamp, value)``.
+    """
+    policy = policy or RetryPolicy()
+    sim = hub.sim
+    start = sim.now
+    for attempt in range(policy.max_attempts):
+        got = hub.try_get(conn, ts)
+        if got is not None:
+            return got
+        if attempt + 1 == policy.max_attempts:
+            break
+        yield sim.any_of([sim.timeout(policy.delay(attempt)), hub.wait_change()])
+    raise FaultTimeout(hub.name, ts, policy.max_attempts, sim.now - start)
+
+
+def put_with_retry(
+    hub: ChannelHub,
+    conn: Connection,
+    ts: int,
+    value: Any,
+    size: int = 0,
+    policy: Optional[RetryPolicy] = None,
+):
+    """Put into ``hub``, retrying while the channel is full; may FaultTimeout.
+
+    Mirrors :meth:`ChannelHub.put` but bounds the capacity wait: a consumer
+    that died leaves the channel full forever, and the producer must fail
+    fast rather than deadlock the pipeline behind it.
+    """
+    policy = policy or RetryPolicy()
+    sim = hub.sim
+    start = sim.now
+    for attempt in range(policy.max_attempts):
+        if not hub.stm.is_full:
+            yield from hub.put(conn, ts, value, size=size)
+            return
+        if attempt + 1 == policy.max_attempts:
+            break
+        yield sim.any_of([sim.timeout(policy.delay(attempt)), hub.wait_change()])
+    raise FaultTimeout(hub.name, ts, policy.max_attempts, sim.now - start)

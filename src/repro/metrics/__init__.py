@@ -10,6 +10,7 @@ from repro.metrics.latency import LatencyStats, latency_stats, throughput_from_c
 from repro.metrics.uniformity import UniformityStats, uniformity_stats
 from repro.metrics.gantt import render_gantt, render_schedule
 from repro.metrics.curves import CurvePoint, pareto_front, dominates
+from repro.metrics.recovery import RecoveryStats, recovery_stats
 from repro.metrics.summary import ExecutionSummary, summarize
 
 __all__ = [
@@ -23,6 +24,8 @@ __all__ = [
     "CurvePoint",
     "pareto_front",
     "dominates",
+    "RecoveryStats",
+    "recovery_stats",
     "ExecutionSummary",
     "summarize",
 ]

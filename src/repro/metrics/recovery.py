@@ -1,0 +1,139 @@
+"""Recovery metrics: what a failure actually cost the application.
+
+Four numbers summarise a faulty run, mirroring the latency/throughput
+pairing of §3.1 but for the fault path:
+
+* **detection latency** — crash to confirmed detection.  Bounded by the
+  detector's ``timeout + heartbeat_interval``; every frame launched in
+  this window onto a dead processor is unrecoverable.
+* **recovery time** — crash to the first frame completed *after* it,
+  i.e. how long the output stream stayed silent.
+* **frames lost** — split by cause: *crash* losses (work in flight on the
+  dead processor, proportional to detection latency) versus *transition*
+  losses (in-flight frames an immediate transition abandons; the §3.4
+  trade a drain transition avoids by stalling longer).
+* **availability** — fraction of the run the output stream kept its
+  nominal cadence: gaps between consecutive completions beyond a slack
+  factor of the schedule period count as downtime.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["RecoveryStats", "recovery_stats"]
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Summary of fault handling over one execution.
+
+    All times are simulated seconds.  Mean/max fields are 0.0 when the
+    run had nothing to measure (no crashes, no detections).
+    """
+
+    crashes: int
+    failovers: int
+    detection_latency_mean: float
+    detection_latency_max: float
+    recovery_time_mean: float
+    recovery_time_max: float
+    frames_lost_crash: int
+    frames_lost_transition: int
+    frames_replayed: int
+    total_stall: float
+    downtime: float
+    availability: float
+
+    @property
+    def frames_lost(self) -> int:
+        """Total frames that never completed, regardless of cause."""
+        return self.frames_lost_crash + self.frames_lost_transition
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"crashes={self.crashes} failovers={self.failovers} "
+            f"detect={self.detection_latency_mean:.3g}s "
+            f"recover={self.recovery_time_mean:.3g}s "
+            f"lost={self.frames_lost} (crash {self.frames_lost_crash} / "
+            f"transition {self.frames_lost_transition}) "
+            f"replayed={self.frames_replayed} "
+            f"availability={self.availability:.4g}"
+        )
+
+
+def _mean_max(values: Sequence[float]) -> tuple[float, float]:
+    if not values:
+        return 0.0, 0.0
+    return statistics.mean(values), max(values)
+
+
+def recovery_stats(
+    *,
+    completions: Sequence[float],
+    period: float,
+    horizon: float,
+    crash_times: Sequence[float],
+    detection_latencies: Sequence[float],
+    frames_lost_crash: int,
+    frames_lost_transition: int,
+    frames_replayed: int = 0,
+    failovers: int = 0,
+    total_stall: float = 0.0,
+    slack: float = 1.5,
+) -> RecoveryStats:
+    """Compute :class:`RecoveryStats` from raw run observations.
+
+    Parameters
+    ----------
+    completions:
+        Sorted completion times of every frame that finished.
+    period:
+        The nominal initiation interval — the cadence the output stream
+        keeps while healthy.
+    horizon:
+        Simulated span of the run (availability denominator).
+    crash_times:
+        Times node crashes were injected.
+    detection_latencies:
+        Per-crash confirmed-detection latencies (may be shorter than
+        ``crash_times`` if the run ended before a detection).
+    slack:
+        A completion gap longer than ``slack * period`` counts its excess
+        over ``period`` as downtime.
+    """
+    seq = sorted(completions)
+    downtime = 0.0
+    if period > 0:
+        for a, b in zip(seq, seq[1:]):
+            gap = b - a
+            if gap > slack * period:
+                downtime += gap - period
+    availability = 1.0
+    if horizon > 0:
+        availability = max(0.0, 1.0 - downtime / horizon)
+
+    recovery_times = []
+    for t_crash in crash_times:
+        after = [c for c in seq if c > t_crash]
+        recovery_times.append((after[0] - t_crash) if after else max(0.0, horizon - t_crash))
+
+    det_mean, det_max = _mean_max(list(detection_latencies))
+    rec_mean, rec_max = _mean_max(recovery_times)
+    return RecoveryStats(
+        crashes=len(crash_times),
+        failovers=failovers,
+        detection_latency_mean=det_mean,
+        detection_latency_max=det_max,
+        recovery_time_mean=rec_mean,
+        recovery_time_max=rec_max,
+        frames_lost_crash=frames_lost_crash,
+        frames_lost_transition=frames_lost_transition,
+        frames_replayed=frames_replayed,
+        total_stall=total_stall,
+        downtime=downtime,
+        availability=availability,
+    )

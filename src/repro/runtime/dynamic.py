@@ -22,7 +22,7 @@ Input policies:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ReproError
 from repro.graph.task import Task
@@ -35,6 +35,9 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import ExecSpan, TraceRecorder
 from repro.state import State
 from repro.stm.connection import Connection
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.faults.events import FaultPlan
 
 __all__ = ["DynamicExecutor"]
 
@@ -52,6 +55,16 @@ class DynamicExecutor:
         ``"latest"`` (frame-skipping) or ``"inorder"``.
     capacity_override:
         Per-channel capacity overrides (flow-control ablation).
+    faults:
+        Optional :class:`~repro.faults.events.FaultPlan` injected during
+        the run.  The scheduler is bound with a live
+        :class:`~repro.faults.view.ClusterView`: dead processors are never
+        granted, a slice in flight on a dying processor is lost (the
+        thread migrates and redoes that quantum), and recovered nodes
+        rejoin the grant pool.  Note the contrast with the fault-tolerance
+        subsystem: the on-line model merely *survives* failures — it has
+        no shape table to fail over to, so throughput degrades however the
+        quantum lottery lands (§3.2 vs §3.4).
     """
 
     def __init__(
@@ -62,6 +75,7 @@ class DynamicExecutor:
         scheduler: OnlineScheduler,
         input_policy: str = "latest",
         capacity_override: Optional[dict[str, Optional[int]]] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         if input_policy not in ("latest", "inorder"):
             raise ReproError(f"unknown input policy {input_policy!r}")
@@ -72,7 +86,10 @@ class DynamicExecutor:
         self.scheduler = scheduler
         self.input_policy = input_policy
         self.capacity_override = capacity_override
+        self.faults = faults
         self._speed = {p.index: p.speed for p in cluster.processors}
+        self._view = None
+        self._fault_preemptions = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -87,7 +104,19 @@ class DynamicExecutor:
         sim = Simulator()
         trace = TraceRecorder()
         hubs = build_hubs(sim, self.graph, trace, self.capacity_override)
-        self.scheduler.bind(sim, self.cluster)
+        injector = None
+        self._view = None
+        self._fault_preemptions = 0
+        if self.faults is not None:
+            from repro.faults.inject import FaultInjector
+            from repro.faults.view import ClusterView
+
+            self._view = ClusterView(sim, self.cluster)
+            injector = FaultInjector(sim, self._view, self.faults)
+            injector.start()
+            self.scheduler.bind(sim, self.cluster, view=self._view)
+        else:
+            self.scheduler.bind(sim, self.cluster)
 
         digitize_times: dict[int, float] = {}
         sink_done: dict[str, dict[int, float]] = {s: {} for s in self.graph.sink_tasks()}
@@ -166,7 +195,13 @@ class DynamicExecutor:
             emitted=emitted[0],
             gc_collected=gc_total,
             live_item_high_water=high_water,
-            meta={"scheduler": repr(self.scheduler), "policy": self.input_policy},
+            meta={
+                "scheduler": repr(self.scheduler),
+                "policy": self.input_policy,
+                "faults_applied": len(injector.applied) if injector else 0,
+                "fault_preemptions": self._fault_preemptions,
+                "dead_procs": sorted(self._view.dead_procs) if self._view else [],
+            },
         )
 
     # -- task processes -------------------------------------------------------
@@ -175,13 +210,29 @@ class DynamicExecutor:
                         ts: int, nominal: float):
         """Run ``nominal`` seconds of work in scheduler quanta (generator)."""
         remaining = nominal
+        view = self._view
         while True:
             proc = yield self.scheduler.acquire(name, priority=float(ts))
-            speed = self._speed[proc]
+            speed = view.speed(proc) if view is not None else self._speed[proc]
             slice_time = min(self.scheduler.quantum, remaining / speed)
             start = sim.now
             if slice_time > 0:
-                yield sim.timeout(slice_time)
+                if view is not None:
+                    idx, _val = yield sim.any_of(
+                        [sim.timeout(slice_time), view.death_event(proc)]
+                    )
+                    if idx == 1:
+                        # The processor died under the thread: the partial
+                        # quantum is lost and the thread migrates, redoing
+                        # this slice on whatever survives.
+                        trace.record_span(
+                            ExecSpan(proc, name, ts, start, sim.now, preempted=True)
+                        )
+                        self._fault_preemptions += 1
+                        self.scheduler.invalidate(name, proc)
+                        continue
+                else:
+                    yield sim.timeout(slice_time)
             remaining -= slice_time * speed
             done = remaining <= 1e-12
             trace.record_span(

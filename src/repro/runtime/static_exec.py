@@ -21,7 +21,7 @@ this for every schedule the optimizers produce.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import ReproError
 from repro.core.optimal import ScheduleSolution
@@ -35,6 +35,9 @@ from repro.sim.network import CommModel
 from repro.sim.resources import Resource
 from repro.sim.trace import ExecSpan, TraceRecorder
 from repro.state import State
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.faults.runner import FaultRuntime
 
 __all__ = ["StaticExecutor"]
 
@@ -60,6 +63,14 @@ class StaticExecutor:
         inputs sequentially).  The schedule was computed from the pure
         cost table, so contention shows up as slips —
         ``meta["contended_time"]`` reports the total link-wait.
+    faults:
+        Optional :class:`~repro.faults.runner.FaultRuntime`.  When set,
+        :meth:`run` delegates to the fault-tolerance subsystem's
+        :class:`~repro.faults.runner.FaultTolerantExecutor`: the schedule
+        passed here is superseded by a table of optimal schedules, one per
+        reachable degraded cluster shape, and failures become regime
+        changes selecting among them (§3.4).  Incompatible with
+        ``contended``.
     """
 
     def __init__(
@@ -70,8 +81,13 @@ class StaticExecutor:
         schedule: Union[PipelinedSchedule, ScheduleSolution],
         comm: Optional[CommModel] = None,
         contended: bool = False,
+        faults: Optional["FaultRuntime"] = None,
     ) -> None:
         graph.validate()
+        if faults is not None and contended:
+            raise ReproError(
+                "contended transfers are not supported under fault injection"
+            )
         if isinstance(schedule, ScheduleSolution):
             schedule = schedule.pipelined
         if schedule.n_procs > cluster.total_processors:
@@ -85,11 +101,18 @@ class StaticExecutor:
         self.schedule = schedule
         self.comm = comm or CommModel.free(cluster)
         self.contended = contended
+        self.faults = faults
 
     def run(self, iterations: int) -> ExecutionResult:
         """Execute ``iterations`` timestamps and drain."""
         if iterations < 1:
             raise ReproError(f"iterations must be >= 1, got {iterations}")
+        if self.faults is not None:
+            from repro.faults.runner import FaultTolerantExecutor
+
+            return FaultTolerantExecutor(
+                self.graph, self.state, self.cluster, self.faults, comm=self.comm
+            ).run(iterations)
         sim = Simulator()
         trace = TraceRecorder()
         hubs = build_hubs(sim, self.graph, trace)

@@ -25,11 +25,14 @@ from __future__ import annotations
 import abc
 import random
 from collections import deque
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.errors import ProcessError
 from repro.sim.cluster import ClusterSpec
 from repro.sim.engine import SimEvent, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.faults.view import ClusterView
 
 __all__ = ["OnlineScheduler", "PthreadScheduler"]
 
@@ -38,8 +41,18 @@ class OnlineScheduler(abc.ABC):
     """Interface the dynamic executor uses to obtain processors."""
 
     @abc.abstractmethod
-    def bind(self, sim: Simulator, cluster: ClusterSpec) -> None:
-        """Attach to a simulation and cluster before execution starts."""
+    def bind(
+        self,
+        sim: Simulator,
+        cluster: ClusterSpec,
+        view: Optional["ClusterView"] = None,
+    ) -> None:
+        """Attach to a simulation and cluster before execution starts.
+
+        ``view`` (optional) is a live :class:`~repro.faults.view.ClusterView`;
+        a fault-aware scheduler must never grant a processor the view
+        reports dead, and should re-pool processors on node recovery.
+        """
 
     @abc.abstractmethod
     def acquire(self, thread: str, priority: Optional[float] = None) -> SimEvent:
@@ -53,6 +66,17 @@ class OnlineScheduler(abc.ABC):
     @abc.abstractmethod
     def release(self, thread: str, proc: int) -> None:
         """Give the processor back (end of quantum or of work item)."""
+
+    def invalidate(self, thread: str, proc: int) -> None:
+        """Drop ``thread``'s grant because ``proc`` died mid-slice.
+
+        Unlike :meth:`release`, the processor is *not* handed to the next
+        waiting thread — it is dead.  Recovery re-pools it via the bound
+        view's change notifications.
+        """
+        raise ProcessError(
+            f"{type(self).__name__} is not fault-aware; bind() it without a view"
+        )
 
     @property
     @abc.abstractmethod
@@ -79,6 +103,7 @@ class PthreadScheduler(OnlineScheduler):
         self._quantum = float(quantum)
         self._rng = random.Random(jitter_seed) if jitter_seed is not None else None
         self._sim: Optional[Simulator] = None
+        self._view: Optional["ClusterView"] = None
         self._free: list[int] = []
         self._ready: Deque[tuple[str, SimEvent]] = deque()
         self._held: dict[str, int] = {}
@@ -89,11 +114,22 @@ class PthreadScheduler(OnlineScheduler):
     def quantum(self) -> float:
         return self._quantum
 
-    def bind(self, sim: Simulator, cluster: ClusterSpec) -> None:
+    def bind(
+        self,
+        sim: Simulator,
+        cluster: ClusterSpec,
+        view: Optional["ClusterView"] = None,
+    ) -> None:
         self._sim = sim
+        self._view = view
         self._free = sorted(p.index for p in cluster.processors)
         self._ready.clear()
         self._held.clear()
+        if view is not None:
+            view.on_change(self._on_cluster_change)
+
+    def _alive(self, proc: int) -> bool:
+        return self._view is None or self._view.alive(proc)
 
     def acquire(self, thread: str, priority: Optional[float] = None) -> SimEvent:
         # The pthread model is priority-blind: ``priority`` is ignored.
@@ -102,6 +138,8 @@ class PthreadScheduler(OnlineScheduler):
         if thread in self._held:
             raise ProcessError(f"thread {thread!r} already holds processor {self._held[thread]}")
         ev = self._sim.event(f"cpu-grant:{thread}")
+        if self._view is not None:
+            self._free = [p for p in self._free if self._view.alive(p)]
         if self._free:
             proc = self._free.pop(0)
             self._held[thread] = proc
@@ -117,6 +155,20 @@ class PthreadScheduler(OnlineScheduler):
             raise ProcessError(
                 f"thread {thread!r} released processor {proc} but held {held}"
             )
+        if not self._alive(proc):
+            return  # died while held; recovery re-pools it
+        self._grant_next(proc)
+
+    def invalidate(self, thread: str, proc: int) -> None:
+        held = self._held.pop(thread, None)
+        if held != proc:
+            raise ProcessError(
+                f"thread {thread!r} invalidated processor {proc} but held {held}"
+            )
+        # The dead processor goes nowhere; recovery re-pools it.
+
+    def _grant_next(self, proc: int) -> None:
+        """Hand ``proc`` to the next ready thread, or back to the pool."""
         if self._ready:
             if self._rng is not None and len(self._ready) > 1:
                 idx = self._rng.randrange(len(self._ready))
@@ -131,6 +183,18 @@ class PthreadScheduler(OnlineScheduler):
         else:
             self._free.append(proc)
             self._free.sort()
+
+    def _on_cluster_change(self, kind: str, target: int) -> None:
+        if kind != "recovery" or self._view is None:
+            return
+        busy = set(self._held.values()) | set(self._free)
+        returned = [
+            p.index
+            for p in self._view.base.node_processors(target)
+            if self._view.alive(p.index) and p.index not in busy
+        ]
+        for proc in sorted(returned):
+            self._grant_next(proc)
 
     @property
     def ready_queue_length(self) -> int:

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ProcessError
 from repro.sched.online import OnlineScheduler
 from repro.sim.cluster import ClusterSpec
 from repro.sim.engine import SimEvent, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.faults.view import ClusterView
 
 __all__ = ["TimestampPriorityScheduler"]
 
@@ -48,6 +51,7 @@ class TimestampPriorityScheduler(OnlineScheduler):
             raise ProcessError(f"quantum must be positive, got {quantum}")
         self._quantum = float(quantum)
         self._sim: Optional[Simulator] = None
+        self._view: Optional["ClusterView"] = None
         self._free: list[int] = []
         self._heap: list[tuple[float, int, str, SimEvent]] = []
         self._seq = itertools.count()
@@ -59,11 +63,22 @@ class TimestampPriorityScheduler(OnlineScheduler):
     def quantum(self) -> float:
         return self._quantum
 
-    def bind(self, sim: Simulator, cluster: ClusterSpec) -> None:
+    def bind(
+        self,
+        sim: Simulator,
+        cluster: ClusterSpec,
+        view: Optional["ClusterView"] = None,
+    ) -> None:
         self._sim = sim
+        self._view = view
         self._free = sorted(p.index for p in cluster.processors)
         self._heap.clear()
         self._held.clear()
+        if view is not None:
+            view.on_change(self._on_cluster_change)
+
+    def _alive(self, proc: int) -> bool:
+        return self._view is None or self._view.alive(proc)
 
     def acquire(self, thread: str, priority: Optional[float] = None) -> SimEvent:
         if self._sim is None:
@@ -73,6 +88,8 @@ class TimestampPriorityScheduler(OnlineScheduler):
                 f"thread {thread!r} already holds processor {self._held[thread]}"
             )
         ev = self._sim.event(f"cpu-grant:{thread}")
+        if self._view is not None:
+            self._free = [p for p in self._free if self._view.alive(p)]
         if self._free:
             proc = self._free.pop(0)
             self._held[thread] = proc
@@ -89,6 +106,18 @@ class TimestampPriorityScheduler(OnlineScheduler):
             raise ProcessError(
                 f"thread {thread!r} released processor {proc} but held {held}"
             )
+        if not self._alive(proc):
+            return  # died while held; recovery re-pools it
+        self._grant_next(proc)
+
+    def invalidate(self, thread: str, proc: int) -> None:
+        held = self._held.pop(thread, None)
+        if held != proc:
+            raise ProcessError(
+                f"thread {thread!r} invalidated processor {proc} but held {held}"
+            )
+
+    def _grant_next(self, proc: int) -> None:
         if self._heap:
             _prio, _seq, nxt_thread, nxt_ev = heapq.heappop(self._heap)
             self._held[nxt_thread] = proc
@@ -97,6 +126,18 @@ class TimestampPriorityScheduler(OnlineScheduler):
         else:
             self._free.append(proc)
             self._free.sort()
+
+    def _on_cluster_change(self, kind: str, target: int) -> None:
+        if kind != "recovery" or self._view is None:
+            return
+        busy = set(self._held.values()) | set(self._free)
+        returned = [
+            p.index
+            for p in self._view.base.node_processors(target)
+            if self._view.alive(p.index) and p.index not in busy
+        ]
+        for proc in sorted(returned):
+            self._grant_next(proc)
 
     @property
     def ready_queue_length(self) -> int:

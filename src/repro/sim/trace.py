@@ -180,6 +180,74 @@ class TraceRecorder:
             return 0.0
         return sum(self.busy_time(p, horizon) for p in procs) / (horizon * len(procs))
 
+    # -- export -------------------------------------------------------------------
+
+    def to_chrome_trace(self, time_scale: float = 1_000_000.0) -> list[dict]:
+        """Export the trace as Chrome tracing (``chrome://tracing``) events.
+
+        Spans become complete (``"X"``) duration events on one row per
+        processor (pid 0, tid = processor index); item events become
+        instants (``"i"``) on per-channel rows under pid 1; processor and
+        channel rows get ``"M"`` metadata names.  Simulated seconds are
+        scaled by ``time_scale`` into the format's microseconds, so one
+        simulated second reads as one second in the viewer by default.
+        Serialize with ``json.dump({"traceEvents": events}, fh)``.
+        """
+        events: list[dict] = []
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+             "args": {"name": "processors"}}
+        )
+        for proc in self.processors():
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": 0, "tid": proc,
+                 "args": {"name": f"cpu{proc}"}}
+            )
+        for s in self.spans:
+            args: dict = {"timestamp": s.timestamp}
+            if s.chunk is not None:
+                args["chunk"] = s.chunk
+            if s.preempted:
+                args["preempted"] = True
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.task,
+                    "cat": "preempted" if s.preempted else "span",
+                    "pid": 0,
+                    "tid": s.proc,
+                    "ts": s.start * time_scale,
+                    "dur": s.duration * time_scale,
+                    "args": args,
+                }
+            )
+        if self.items:
+            events.append(
+                {"ph": "M", "name": "process_name", "pid": 1, "tid": 0,
+                 "args": {"name": "channels"}}
+            )
+            channels = sorted({e.channel for e in self.items})
+            tids = {ch: i for i, ch in enumerate(channels)}
+            for ch, tid in tids.items():
+                events.append(
+                    {"ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+                     "args": {"name": ch}}
+                )
+            for e in self.items:
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": f"{e.kind}@{e.timestamp}",
+                        "cat": e.kind,
+                        "pid": 1,
+                        "tid": tids[e.channel],
+                        "ts": e.time * time_scale,
+                        "s": "t",
+                        "args": {"task": e.task, "timestamp": e.timestamp},
+                    }
+                )
+        return events
+
     def clear(self) -> None:
         """Drop all recorded data."""
         self.spans.clear()

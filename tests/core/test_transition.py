@@ -1,0 +1,109 @@
+"""Regression tests for transition-policy lost-work accounting.
+
+The boundary cases matter to the fault subsystem: a failover from (or to)
+a degenerate schedule — period 0 because the solution is unpipelined, or
+latency 0 because the iteration is empty — must not fabricate in-flight
+work that was never there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.transition import (
+    CheckpointTransition,
+    DrainTransition,
+    ImmediateTransition,
+    TransitionEffect,
+    TransitionPolicy,
+)
+
+
+@dataclass
+class _Solution:
+    """Just the latency/period surface the policies consume."""
+
+    latency: float
+    period: float
+
+
+NORMAL = _Solution(latency=3.0, period=1.0)
+EMPTY = _Solution(latency=0.0, period=1.0)       # empty in-flight set
+UNPIPELINED = _Solution(latency=2.0, period=0.0)  # period-0 degenerate
+
+
+class TestInFlight:
+    def test_pipelined_depth(self):
+        assert TransitionPolicy.in_flight(NORMAL) == 3
+
+    def test_sub_period_latency_still_one_in_flight(self):
+        assert TransitionPolicy.in_flight(_Solution(0.5, 1.0)) == 1
+
+    def test_period_zero_has_no_in_flight(self):
+        assert TransitionPolicy.in_flight(UNPIPELINED) == 0
+
+    def test_empty_iteration_has_no_in_flight(self):
+        assert TransitionPolicy.in_flight(EMPTY) == 0
+
+
+class TestBoundaryEffects:
+    @pytest.mark.parametrize("degenerate", [EMPTY, UNPIPELINED])
+    def test_immediate_loses_nothing_from_degenerate(self, degenerate):
+        effect = ImmediateTransition(setup=0.5).effect(degenerate, NORMAL)
+        assert effect.lost_iterations == 0
+        assert effect.stall == 0.5
+
+    def test_immediate_loses_in_flight_from_normal(self):
+        effect = ImmediateTransition(setup=0.5).effect(NORMAL, EMPTY)
+        assert effect.lost_iterations == 3
+        assert effect.stall == 0.5
+
+    @pytest.mark.parametrize("degenerate", [EMPTY, UNPIPELINED])
+    def test_drain_from_degenerate(self, degenerate):
+        effect = DrainTransition(setup=0.25).effect(degenerate, NORMAL)
+        assert effect.lost_iterations == 0
+        assert effect.stall == degenerate.latency + 0.25
+
+    def test_drain_never_loses_work(self):
+        effect = DrainTransition().effect(NORMAL, NORMAL)
+        assert effect.lost_iterations == 0
+        assert effect.stall == NORMAL.latency
+
+
+class TestCheckpointTransition:
+    def test_replays_instead_of_losing(self):
+        effect = CheckpointTransition(setup=0.5).effect(NORMAL, NORMAL)
+        assert effect.lost_iterations == 0
+        assert effect.replayed_iterations == 3
+        assert effect.stall == pytest.approx(0.5 + 3 * NORMAL.period)
+
+    @pytest.mark.parametrize("degenerate", [EMPTY, UNPIPELINED])
+    def test_nothing_to_replay_from_degenerate(self, degenerate):
+        effect = CheckpointTransition(setup=0.5).effect(degenerate, NORMAL)
+        assert effect.replayed_iterations == 0
+        assert effect.stall == 0.5
+
+    def test_replay_into_degenerate_new_schedule(self):
+        # A period-0 new solution must not drive the stall negative.
+        effect = CheckpointTransition().effect(NORMAL, UNPIPELINED)
+        assert effect.stall == 0.0
+        assert effect.replayed_iterations == 3
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointTransition(setup=-1.0)
+
+
+class TestTransitionEffect:
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionEffect(stall=-1.0, lost_iterations=0)
+        with pytest.raises(ValueError):
+            TransitionEffect(stall=0.0, lost_iterations=-1)
+        with pytest.raises(ValueError):
+            TransitionEffect(stall=0.0, lost_iterations=0, replayed_iterations=-1)
+
+    def test_replayed_defaults_to_zero(self):
+        assert TransitionEffect(stall=1.0, lost_iterations=2).replayed_iterations == 0

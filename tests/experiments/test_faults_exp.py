@@ -1,0 +1,61 @@
+"""Tests for the fault-tolerance sweep experiment and its CLI entry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.faults_exp import FaultsResult, run_faults
+
+
+class TestFaultsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self) -> FaultsResult:
+        return run_faults(rates=(0.0, 0.08), iterations=20)
+
+    def test_zero_rate_is_lossless(self, result):
+        for r in result.rows:
+            if r.rate == 0.0:
+                assert r.completed == r.emitted
+                assert r.recovery.frames_lost == 0
+                assert r.recovery.availability == 1.0
+                assert r.stall_fraction == 0.0
+
+    def test_failures_cost_availability(self, result):
+        faulty = [r for r in result.rows if r.rate > 0.0]
+        assert faulty
+        assert all(r.recovery.crashes >= 1 for r in faulty)
+        assert all(r.recovery.availability < 1.0 for r in faulty)
+
+    def test_policies_face_identical_fault_plans(self, result):
+        faulty = [r for r in result.rows if r.rate > 0.0]
+        # Same seeded plan per rate: detection latencies agree across
+        # policies that saw the same number of crashes.
+        by_crashes = {}
+        for r in faulty:
+            by_crashes.setdefault(r.recovery.crashes, set()).add(
+                round(r.recovery.detection_latency_mean, 9)
+            )
+        for latencies in by_crashes.values():
+            assert len(latencies) == 1
+
+    def test_policy_trade(self, result):
+        rows = {r.policy: r for r in result.rows if r.rate > 0.0}
+        assert rows["immediate"].stall_fraction < rows["drain"].stall_fraction
+        assert rows["immediate"].recovery.frames_lost_transition > 0
+        assert rows["drain"].recovery.frames_lost_transition == 0
+        assert rows["checkpoint"].recovery.frames_replayed > 0
+
+    def test_breaking_rate(self, result):
+        assert result.breaking_rate("drain") == 0.08
+        assert result.breaking_rate("immediate") is None
+
+    def test_render(self, result):
+        text = result.render()
+        assert "amortization" in text
+        assert "BREAKS" in text and "holds" in text
+
+    def test_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["faults", "--quick"]) == 0
+        assert "faults" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Fault plans: ordering, validation, and deterministic generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    FaultPlan,
+    NodeCrash,
+    NodeRecovery,
+    NodeSlowdown,
+    ProcessorLoss,
+)
+from repro.sim.cluster import ClusterSpec
+
+
+class TestEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError):
+            NodeCrash(time=-1.0, node=0)
+
+    def test_slowdown_factor_positive(self):
+        with pytest.raises(FaultPlanError):
+            NodeSlowdown(time=1.0, node=0, factor=0.0)
+
+
+class TestFaultPlan:
+    def test_sorted_by_time(self):
+        plan = FaultPlan(
+            [NodeCrash(time=5.0, node=1), ProcessorLoss(time=2.0, proc=0)]
+        )
+        assert [e.time for e in plan] == [2.0, 5.0]
+
+    def test_same_time_crash_before_recovery(self):
+        plan = FaultPlan(
+            [NodeRecovery(time=3.0, node=0), NodeCrash(time=3.0, node=1)]
+        )
+        kinds = [type(e) for e in plan]
+        assert kinds == [NodeCrash, NodeRecovery]
+
+    def test_validate_rejects_unknown_node(self):
+        plan = FaultPlan([NodeCrash(time=1.0, node=7)])
+        with pytest.raises(FaultPlanError):
+            plan.validate(ClusterSpec(nodes=2, procs_per_node=2))
+
+    def test_validate_rejects_unknown_processor(self):
+        plan = FaultPlan([ProcessorLoss(time=1.0, proc=9)])
+        with pytest.raises(FaultPlanError):
+            plan.validate(ClusterSpec(nodes=2, procs_per_node=2))
+
+    def test_crash_at_with_recovery(self):
+        plan = FaultPlan.crash_at(4.0, node=1, recover_at=9.0)
+        assert len(plan) == 2
+        assert isinstance(plan.events[0], NodeCrash)
+        assert isinstance(plan.events[1], NodeRecovery)
+
+    def test_crash_at_rejects_recovery_before_crash(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.crash_at(4.0, node=1, recover_at=4.0)
+
+
+class TestPoisson:
+    def test_deterministic_for_seed(self):
+        cluster = ClusterSpec(nodes=4, procs_per_node=2)
+        a = FaultPlan.poisson(cluster, horizon=100.0, rate=0.1, seed=42)
+        b = FaultPlan.poisson(cluster, horizon=100.0, rate=0.1, seed=42)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        cluster = ClusterSpec(nodes=4, procs_per_node=2)
+        a = FaultPlan.poisson(cluster, horizon=100.0, rate=0.1, seed=1)
+        b = FaultPlan.poisson(cluster, horizon=100.0, rate=0.1, seed=2)
+        assert a.events != b.events
+
+    def test_never_kills_last_node(self):
+        cluster = ClusterSpec(nodes=2, procs_per_node=1)
+        plan = FaultPlan.poisson(cluster, horizon=1000.0, rate=0.5, seed=7)
+        # Without recoveries at most one node may ever crash.
+        crashed = {e.node for e in plan if isinstance(e, NodeCrash)}
+        assert len(crashed) <= 1
+
+    def test_downtime_windows_respected(self):
+        cluster = ClusterSpec(nodes=3, procs_per_node=1)
+        plan = FaultPlan.poisson(
+            cluster, horizon=500.0, rate=0.2, seed=3, mean_downtime=5.0
+        )
+        down: dict[int, float] = {}
+        for ev in plan:
+            if isinstance(ev, NodeCrash):
+                # A node must be up when it crashes.
+                assert ev.time >= down.get(ev.node, 0.0)
+                down[ev.node] = float("inf")
+            elif isinstance(ev, NodeRecovery):
+                down[ev.node] = ev.time
+
+    def test_zero_rate_empty(self):
+        cluster = ClusterSpec(nodes=2, procs_per_node=2)
+        plan = FaultPlan.poisson(cluster, horizon=100.0, rate=0.0, seed=1)
+        assert len(plan) == 0

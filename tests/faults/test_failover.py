@@ -1,0 +1,137 @@
+"""Shape tables and the failover controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transition import DrainTransition, ImmediateTransition
+from repro.errors import ShapeUnschedulable
+from repro.faults import (
+    ClusterView,
+    FailoverController,
+    ShapeTable,
+    reachable_shapes,
+)
+from repro.faults.detect import Detection
+from repro.graph.builders import chain_graph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.engine import Simulator
+from repro.state import State
+
+
+@pytest.fixture
+def graph():
+    return chain_graph([1.0, 1.0])
+
+
+@pytest.fixture
+def state():
+    return State(n_models=1)
+
+
+class TestReachableShapes:
+    def test_homogeneous_cluster_canonicalizes(self):
+        base = ClusterSpec(nodes=3, procs_per_node=2)
+        shapes = reachable_shapes(base, max_node_failures=1, proc_failures=False)
+        # Base + "any one node lost" — which node is irrelevant.
+        assert len(shapes) == 2
+
+    def test_proc_failures_add_shapes(self):
+        base = ClusterSpec(nodes=2, procs_per_node=2)
+        keys = {s.shape_key() for s in reachable_shapes(base)}
+        assert ClusterSpec(procs_by_node=[2, 1]).shape_key() in keys
+        assert ClusterSpec(procs_by_node=[1]).shape_key() in keys
+
+    def test_never_empty(self):
+        base = ClusterSpec(nodes=1, procs_per_node=1)
+        shapes = reachable_shapes(base)
+        assert [s.shape_key() for s in shapes] == [base.shape_key()]
+
+    def test_two_node_failures(self):
+        base = ClusterSpec(nodes=3, procs_per_node=1)
+        shapes = reachable_shapes(base, max_node_failures=2, proc_failures=False)
+        assert {s.total_processors for s in shapes} == {3, 2, 1}
+
+
+class TestShapeTable:
+    def test_build_and_lookup(self, graph, state):
+        base = ClusterSpec(nodes=2, procs_per_node=1)
+        table = ShapeTable.build(graph, state, base)
+        sol = table.lookup(base)
+        assert sol.latency == pytest.approx(2.0)
+        degraded = table.lookup(ClusterSpec(nodes=1, procs_per_node=1))
+        assert degraded.period >= sol.period
+
+    def test_lookup_unknown_shape_raises(self, graph, state):
+        base = ClusterSpec(nodes=2, procs_per_node=1)
+        table = ShapeTable.build(graph, state, base, proc_failures=False)
+        with pytest.raises(ShapeUnschedulable):
+            table.lookup(ClusterSpec(nodes=4, procs_per_node=4))
+
+    def test_contains_and_len(self, graph, state):
+        base = ClusterSpec(nodes=2, procs_per_node=1)
+        table = ShapeTable.build(graph, state, base)
+        assert base in table
+        assert len(table) == 2
+        assert len(table.solutions()) == 2
+
+    def test_degraded_schedule_fits_shape(self, graph, state):
+        base = ClusterSpec(nodes=2, procs_per_node=2)
+        table = ShapeTable.build(graph, state, base)
+        for key in table:
+            spec = ClusterSpec(
+                procs_by_node=[p for p, _s in key],
+                node_speeds=[s for _p, s in key],
+            )
+            sol = table._solutions[key]
+            assert sol.pipelined.n_procs <= spec.total_processors
+
+
+class TestFailoverController:
+    def make(self, graph, state, policy):
+        sim = Simulator()
+        base = ClusterSpec(nodes=2, procs_per_node=1)
+        view = ClusterView(sim, base)
+        table = ShapeTable.build(graph, state, base)
+        return view, FailoverController(table, view, policy)
+
+    def test_initial_state(self, graph, state):
+        view, ctl = self.make(graph, state, DrainTransition())
+        assert ctl.active.latency == pytest.approx(2.0)
+        assert ctl.mapping == {0: 0, 1: 1}
+        assert ctl.failover_count == 0
+
+    def test_failover_on_node_crash(self, graph, state):
+        view, ctl = self.make(graph, state, DrainTransition(setup=0.5))
+        old = ctl.active
+        view.kill_node(0)
+        record = ctl.on_detection(Detection(time=3.0, kind="node-failure", node=0))
+        assert record is not None
+        assert ctl.failover_count == 1
+        assert ctl.active is not old
+        assert ctl.mapping == {0: 1}
+        # Drain: stall covers the old latency plus setup.
+        assert record.effect.stall == pytest.approx(old.latency + 0.5)
+        assert ctl.resume_at == pytest.approx(3.0 + old.latency + 0.5)
+
+    def test_immediate_policy_loses_in_flight(self, graph, state):
+        view, ctl = self.make(graph, state, ImmediateTransition())
+        view.kill_node(1)
+        record = ctl.on_detection(Detection(time=2.0, kind="node-failure", node=1))
+        assert record.effect.lost_iterations > 0
+        assert ctl.total_lost_iterations == record.effect.lost_iterations
+
+    def test_detection_without_shape_change_is_noop(self, graph, state):
+        view, ctl = self.make(graph, state, DrainTransition())
+        assert ctl.on_detection(Detection(time=1.0, kind="slowdown", node=0)) is None
+        assert ctl.failover_count == 0
+
+    def test_failback_on_recovery(self, graph, state):
+        view, ctl = self.make(graph, state, DrainTransition())
+        view.kill_node(0)
+        ctl.on_detection(Detection(time=3.0, kind="node-failure", node=0))
+        view.recover_node(0)
+        record = ctl.on_detection(Detection(time=8.0, kind="node-recovery", node=0))
+        assert record is not None
+        assert ctl.failover_count == 2
+        assert ctl.mapping == {0: 0, 1: 1}

@@ -1,0 +1,194 @@
+"""The full fault-tolerance loop: inject -> detect -> fail over -> recover.
+
+This is the subsystem's acceptance test: a node crash mid-run is detected
+by heartbeats, the executor fails over to the schedule pre-computed for
+the degraded shape, and the output stream resumes — deterministically,
+under every transition policy, with the recovery metrics accounting for
+exactly what the failure cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transition import (
+    CheckpointTransition,
+    DrainTransition,
+    ImmediateTransition,
+)
+from repro.faults import FaultPlan, FaultRuntime, FaultTolerantExecutor
+from repro.graph.builders import chain_graph, fork_join_graph
+from repro.sim.cluster import ClusterSpec
+from repro.state import State
+
+CLUSTER = ClusterSpec(nodes=2, procs_per_node=1)
+STATE = State(n_models=1)
+DETECT = dict(heartbeat_interval=0.1, detect_timeout=0.3)
+
+
+def run_with(policy, plan=None, iterations=20, graph=None, cluster=CLUSTER):
+    rt = FaultRuntime(
+        plan=plan if plan is not None else FaultPlan.crash_at(5.0, node=1),
+        policy=policy,
+        **DETECT,
+    )
+    ex = FaultTolerantExecutor(graph or chain_graph([1.0, 1.0]), STATE, cluster, rt)
+    return ex.run(iterations)
+
+
+class TestHealthyBaseline:
+    def test_no_faults_no_losses(self):
+        res = run_with(DrainTransition(), plan=FaultPlan([]), iterations=10)
+        assert res.completed_count == 10
+        rec = res.meta["recovery"]
+        assert rec.crashes == 0
+        assert rec.frames_lost == 0
+        assert rec.availability == pytest.approx(1.0)
+        assert res.meta["failovers"] == []
+
+    def test_healthy_cadence_matches_period(self):
+        res = run_with(DrainTransition(), plan=FaultPlan([]), iterations=10)
+        seq = res.completion_sequence()
+        gaps = [b - a for a, b in zip(seq, seq[1:])]
+        assert all(g == pytest.approx(res.meta["period"]) for g in gaps)
+
+
+class TestFullLoopDrain:
+    def test_crash_detect_failover_recover(self):
+        res = run_with(DrainTransition(setup=0.5), iterations=20)
+        rec = res.meta["recovery"]
+
+        # Detected within the configured bound.
+        assert rec.crashes == 1
+        assert 0.3 <= rec.detection_latency_max < 0.4 + 1e-9
+
+        # Failed over to the pre-computed degraded-shape schedule.
+        assert len(res.meta["failovers"]) == 1
+        assert res.meta["shape_table_size"] >= 2
+
+        # Work in flight on the dead processor is lost; drain loses
+        # nothing to the transition itself.
+        assert rec.frames_lost_crash > 0
+        assert rec.frames_lost_transition == 0
+
+        # The output stream stalled, then recovered.
+        assert rec.availability < 1.0
+        assert res.completed_count == res.emitted - rec.frames_lost
+
+    def test_throughput_recovers_at_degraded_period(self):
+        res = run_with(DrainTransition(setup=0.5), iterations=20)
+        seq = res.completion_sequence()
+        # After failover the cadence settles at the 1-processor period (2s).
+        tail = [b - a for a, b in zip(seq[-6:], seq[-5:])]
+        assert all(g == pytest.approx(2.0) for g in tail)
+
+    def test_all_post_failover_frames_complete(self):
+        res = run_with(DrainTransition(setup=0.5), iterations=20)
+        lost = set(res.meta["frames_lost_crash"])
+        completed = set(res.completion_times)
+        assert completed | lost == set(range(20))
+
+
+class TestFullLoopImmediate:
+    def test_immediate_transition_loses_in_flight(self):
+        res = run_with(ImmediateTransition(setup=0.5), iterations=20)
+        rec = res.meta["recovery"]
+        assert rec.crashes == 1
+        assert 0.3 <= rec.detection_latency_max < 0.4 + 1e-9
+        assert len(res.meta["failovers"]) == 1
+        # The acceptance criteria: immediate pays in frames.
+        assert rec.frames_lost_transition > 0
+        assert rec.frames_lost_crash > 0
+        assert rec.availability < 1.0
+        assert res.completed_count == res.emitted - rec.frames_lost
+
+    def test_immediate_resumes_faster_than_drain(self):
+        drain = run_with(DrainTransition(setup=0.5), iterations=20)
+        imm = run_with(ImmediateTransition(setup=0.5), iterations=20)
+        d_stall = drain.meta["failovers"][0][1]
+        i_stall = imm.meta["failovers"][0][1]
+        assert i_stall < d_stall
+        # ...but loses more frames doing so (the §3.4 trade).
+        assert (
+            imm.meta["recovery"].frames_lost > drain.meta["recovery"].frames_lost
+        )
+
+
+class TestFullLoopCheckpoint:
+    def test_checkpoint_replays_instead_of_losing(self):
+        res = run_with(CheckpointTransition(setup=0.5), iterations=20)
+        rec = res.meta["recovery"]
+        assert rec.frames_replayed > 0
+        assert rec.frames_lost_transition == 0
+        # Replayed frames complete: only crash losses are missing.
+        assert res.completed_count == res.emitted - rec.frames_lost_crash
+        replayed = set(res.meta["frames_replayed"])
+        assert replayed <= set(res.completion_times)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "policy",
+        [DrainTransition(setup=0.5), ImmediateTransition(setup=0.5)],
+        ids=["drain", "immediate"],
+    )
+    def test_same_plan_same_trace(self, policy):
+        a = run_with(policy, iterations=15)
+        b = run_with(policy, iterations=15)
+        assert a.trace.spans == b.trace.spans
+        assert a.completion_times == b.completion_times
+        assert a.meta["detections"] == b.meta["detections"]
+        assert a.meta["failovers"] == b.meta["failovers"]
+
+
+class TestRecoveryPlan:
+    def test_failback_after_node_returns(self):
+        plan = FaultPlan.crash_at(5.0, node=1, recover_at=20.0)
+        res = run_with(DrainTransition(setup=0.5), plan=plan, iterations=25)
+        # Two failovers: degrade, then fail back to the full shape.
+        assert len(res.meta["failovers"]) == 2
+        kinds = [k for _t, k, _n in res.meta["detections"]]
+        assert "node-failure" in kinds and "node-recovery" in kinds
+        # Cadence at the end is back to the 2-processor period.
+        seq = res.completion_sequence()
+        tail = [b - a for a, b in zip(seq[-4:], seq[-3:])]
+        assert all(g == pytest.approx(1.0) for g in tail)
+
+
+class TestProcessorLoss:
+    def test_single_proc_loss_on_wider_cluster(self):
+        from repro.faults import ProcessorLoss
+
+        cluster = ClusterSpec(nodes=2, procs_per_node=2)
+        graph = fork_join_graph(0.5, [1.0, 1.0], 0.5)
+        plan = FaultPlan([ProcessorLoss(time=4.0, proc=3)])
+        res = run_with(
+            DrainTransition(), plan=plan, iterations=15, graph=graph, cluster=cluster
+        )
+        assert len(res.meta["failovers"]) == 1
+        assert res.completed_count >= 13
+        assert res.meta["recovery"].availability < 1.0
+
+
+class TestMetaAccounting:
+    def test_meta_fields_present(self):
+        res = run_with(DrainTransition(), iterations=10)
+        for key in (
+            "policy",
+            "shape_table_size",
+            "period",
+            "faults_applied",
+            "detections",
+            "failovers",
+            "frames_lost_crash",
+            "frames_lost_transition",
+            "frames_replayed",
+            "recovery",
+        ):
+            assert key in res.meta
+
+    def test_recovery_summary_renders(self):
+        res = run_with(ImmediateTransition(), iterations=10)
+        text = res.meta["recovery"].summary()
+        assert "crashes=1" in text
+        assert "availability=" in text

@@ -65,3 +65,56 @@ class TestClusterSpec:
     def test_processor_ordering(self):
         a, b = Processor(0, 0, 0), Processor(1, 0, 1)
         assert a < b
+
+
+class TestDegradedShapes:
+    def test_without_node_drops_its_processors(self):
+        c = ClusterSpec(nodes=3, procs_per_node=2, node_speeds=[1.0, 2.0, 3.0])
+        d = c.without_node(1)
+        assert d.nodes == 2 and d.total_processors == 4
+        assert d.node_speeds == (1.0, 3.0)
+        assert [p.index for p in d] == [0, 1, 2, 3]
+
+    def test_without_last_node_rejected(self):
+        with pytest.raises(ClusterError):
+            SINGLE_NODE_SMP(4).without_node(0)
+
+    def test_without_processor_makes_non_uniform(self):
+        c = ClusterSpec(nodes=2, procs_per_node=2)
+        d = c.without_processor(3)
+        assert d.procs_by_node == (2, 1)
+        assert not d.uniform and c.uniform
+        assert d.procs_per_node == 2  # dp cap = largest node
+        assert [(p.node, p.slot) for p in d] == [(0, 0), (0, 1), (1, 0)]
+        assert [p.index for p in d.node_processors(1)] == [2]
+
+    def test_without_processor_removes_emptied_node(self):
+        c = ClusterSpec(nodes=2, procs_per_node=1)
+        d = c.without_processor(0)
+        assert d.nodes == 1 and d.total_processors == 1
+
+    def test_explicit_procs_by_node(self):
+        c = ClusterSpec(procs_by_node=[3, 1])
+        assert c.nodes == 2 and c.total_processors == 4
+        assert c.node_of(3) == 1
+        with pytest.raises(ClusterError):
+            ClusterSpec(nodes=2, procs_per_node=2, procs_by_node=[2, 2])
+
+    def test_with_node_speed(self):
+        c = ClusterSpec(nodes=2, procs_per_node=2)
+        s = c.with_node_speed(1, 0.5)
+        assert s.node_speeds == (1.0, 0.5)
+        assert s.processor(2).speed == 0.5
+        assert s.procs_by_node == c.procs_by_node
+
+    def test_shape_key_ignores_which_node_died(self):
+        c = ClusterSpec(nodes=3, procs_per_node=2)
+        assert c.without_node(0).shape_key() == c.without_node(2).shape_key()
+        assert c.without_processor(0).shape_key() == c.without_processor(5).shape_key()
+        assert c.without_node(0).shape_key() != c.without_processor(0).shape_key()
+
+    def test_degraded_equality_and_hash(self):
+        c = ClusterSpec(nodes=2, procs_per_node=2)
+        assert c.without_processor(3) == c.without_processor(3)
+        assert hash(c.without_processor(3)) == hash(c.without_processor(3))
+        assert c.without_processor(3) != c.without_processor(1)

@@ -83,3 +83,66 @@ class TestTraceRecorder:
         assert t.completion_time(0) is None
         assert t.utilization([0]) == 0.0
         assert t.busy_time(5) == 0.0
+
+
+class TestChromeTraceExport:
+    @pytest.fixture
+    def trace(self):
+        t = TraceRecorder()
+        t.record_span(span(0, "T1", 0, 0.0, 1.0))
+        t.record_span(span(1, "T2", 0, 1.0, 2.0, preempted=True))
+        t.record_span(span(0, "T1", 1, 1.0, 2.0, chunk=3))
+        t.record_item(ItemEvent(0.5, "frame", "put", 0, task="T1"))
+        t.record_item(ItemEvent(1.5, "frame", "consume", 0, task="T2"))
+        return t
+
+    def test_span_events(self, trace):
+        events = trace.to_chrome_trace()
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 3
+        first = next(e for e in xs if e["name"] == "T1" and e["args"]["timestamp"] == 0)
+        assert first["tid"] == 0
+        assert first["ts"] == 0.0
+        assert first["dur"] == pytest.approx(1_000_000.0)
+
+    def test_preempted_and_chunk_args(self, trace):
+        events = trace.to_chrome_trace()
+        pre = next(e for e in events if e.get("cat") == "preempted")
+        assert pre["args"]["preempted"] is True
+        chunked = next(
+            e for e in events if e["ph"] == "X" and e["args"].get("chunk") is not None
+        )
+        assert chunked["args"]["chunk"] == 3
+
+    def test_item_instants_on_channel_rows(self, trace):
+        events = trace.to_chrome_trace()
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 2
+        assert {e["cat"] for e in instants} == {"put", "consume"}
+        assert all(e["pid"] == 1 for e in instants)
+
+    def test_metadata_rows_name_processors_and_channels(self, trace):
+        events = trace.to_chrome_trace()
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[(0, 0)] == "cpu0"
+        assert names[(0, 1)] == "cpu1"
+        assert names[(1, 0)] == "frame"
+
+    def test_time_scale(self, trace):
+        events = trace.to_chrome_trace(time_scale=1000.0)
+        first = next(e for e in events if e["ph"] == "X")
+        assert first["dur"] == pytest.approx(1000.0)
+
+    def test_serializable(self, trace):
+        import json
+
+        text = json.dumps({"traceEvents": trace.to_chrome_trace()})
+        assert '"traceEvents"' in text
+
+    def test_empty_trace_exports_minimal(self):
+        events = TraceRecorder().to_chrome_trace()
+        assert all(e["ph"] == "M" for e in events)
