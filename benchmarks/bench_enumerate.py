@@ -1,0 +1,212 @@
+"""Benchmark: the off-line phase accelerations, measured end to end.
+
+Times cold vs. warm-started vs. cached table builds (tracker graph x
+8-state space on a 2x4 cluster, plus the faults ShapeTable sweep), prints
+explored-node counts, and emits a ``BENCH_enumerate.json`` summary next
+to this file.
+
+Timings are taken with ``time.perf_counter`` directly (not the
+pytest-benchmark fixture), so the module runs — and keeps its assertions
+— under a plain ``pytest`` invocation.  Set ``REPRO_BENCH_QUICK=1`` for
+the CI smoke configuration (smaller state space, same assertions).
+
+What is *asserted* vs. merely *recorded*:
+
+* asserted — warm-start + dominance explores >= 3x fewer nodes on the
+  tracker m=8 enumeration (communication-model configuration; the
+  free-communication numbers are recorded too, where the optimum is
+  massively degenerate — |S| = 56 on the 2x4 cluster — and every member
+  of S must be visited no matter how sharp the pruning);
+* asserted — tables serialize bitwise-identically across ``workers=1``
+  and ``workers=2``, and across cache-cold and cache-warm builds;
+* asserted — the second cached build hits on every state;
+* recorded — wall-clock speedups.  Process-pool speedup in particular is
+  reported honestly for whatever machine runs this: on a single-CPU
+  container it will be <= 1 (pure overhead), and that number still
+  belongs in the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps.tracker.graph import build_tracker_graph
+from repro.core.cache import ScheduleCache
+from repro.core.enumerate import enumerate_schedules
+from repro.core.optimal import OptimalScheduler
+from repro.core.serialize import table_to_json
+from repro.core.table import ScheduleTable
+from repro.faults.failover import ShapeTable
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommCost, CommModel
+from repro.state import State, StateSpace
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+RESULTS: dict = {"quick": QUICK}
+
+
+def _cluster() -> ClusterSpec:
+    return ClusterSpec(nodes=2, procs_per_node=4)
+
+
+def _comm(cluster: ClusterSpec) -> CommModel:
+    """A realistic two-tier network: cheap intra-node, costly inter-node."""
+    return CommModel(
+        cluster,
+        intra_node=CommCost(latency=0.0005, bandwidth=1e9),
+        inter_node=CommCost(latency=0.002, bandwidth=1e8),
+    )
+
+
+def _space() -> StateSpace:
+    return StateSpace.range("n_models", 1, 3 if QUICK else 8)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_summary():
+    yield
+    out = Path(__file__).with_name("BENCH_enumerate.json")
+    out.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    print(f"\nsummary written to {out}")
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def test_explored_reduction_tracker_m8(tracker_graph):
+    """Warm start + dominance vs. the cold search, same L and same S."""
+    cluster = _cluster()
+    comm = _comm(cluster)
+    state = State(n_models=8)
+    rows = {}
+    for label, cm in [("comm", comm), ("free_comm", None)]:
+        cold = enumerate_schedules(
+            tracker_graph, state, cluster, comm=cm,
+            warm_start=False, dominance=False, max_solutions=4096,
+        )
+        warm = enumerate_schedules(
+            tracker_graph, state, cluster, comm=cm,
+            warm_start=True, dominance=False, max_solutions=4096,
+        )
+        fast = enumerate_schedules(
+            tracker_graph, state, cluster, comm=cm, max_solutions=4096,
+        )
+        assert cold.latency == warm.latency == fast.latency
+        keys = lambda r: {s.canonical_key() for s in r.schedules}
+        assert keys(cold) == keys(warm) == keys(fast)
+        rows[label] = {
+            "latency": fast.latency,
+            "optimal_count": fast.optimal_count,
+            "explored_cold": cold.explored,
+            "explored_warm": warm.explored,
+            "explored_warm_dominance": fast.explored,
+            "ratio": cold.explored / fast.explored,
+            "pruned_bound": fast.pruned_bound,
+            "pruned_dominance": fast.pruned_dominance,
+            "elapsed_cold_s": cold.elapsed_s,
+            "elapsed_fast_s": fast.elapsed_s,
+        }
+        print(
+            f"\n  tracker m=8 2x4 [{label}]: cold={cold.explored} "
+            f"warm={warm.explored} warm+dom={fast.explored} "
+            f"({cold.explored / fast.explored:.2f}x fewer), "
+            f"L={fast.latency:.4f} |S|={fast.optimal_count}"
+        )
+    RESULTS["explored_reduction"] = rows
+    assert rows["comm"]["ratio"] >= 3.0
+
+
+def test_table_build_sequential_vs_parallel(tracker_graph):
+    """Bitwise-identical tables for every worker count; honest speedup."""
+    cluster = _cluster()
+    space = _space()
+    scheduler = OptimalScheduler(cluster, comm=_comm(cluster))
+    seq, t_seq = _timed(ScheduleTable.build, tracker_graph, space, scheduler)
+    par, t_par = _timed(
+        ScheduleTable.build, tracker_graph, space, scheduler, parallel=2
+    )
+    j_seq, j_par = table_to_json(seq), table_to_json(par)
+    assert j_seq == j_par, "parallel build must serialize bitwise-identically"
+    speedup = t_seq / t_par if t_par > 0 else float("inf")
+    RESULTS["table_build"] = {
+        "states": len(space),
+        "sequential_s": t_seq,
+        "parallel2_s": t_par,
+        "speedup": speedup,
+        "cpus": os.cpu_count(),
+        "bitwise_identical": True,
+    }
+    print(
+        f"\n  table build ({len(space)} states): seq={t_seq * 1e3:.1f}ms "
+        f"parallel=2 {t_par * 1e3:.1f}ms -> {speedup:.2f}x "
+        f"on {os.cpu_count()} CPU(s)"
+    )
+
+
+def test_table_build_cached_roundtrip(tracker_graph, tmp_path):
+    """Second build over an unchanged space must hit on every state."""
+    cluster = _cluster()
+    space = _space()
+    scheduler = OptimalScheduler(cluster, comm=_comm(cluster))
+    reference = table_to_json(ScheduleTable.build(tracker_graph, space, scheduler))
+    cache = ScheduleCache(tmp_path / "schedules")
+    first, t_cold = _timed(
+        ScheduleTable.build, tracker_graph, space, scheduler, cache=cache
+    )
+    assert cache.stats.misses == len(space) and cache.stats.stores == len(space)
+    second, t_warm = _timed(
+        ScheduleTable.build, tracker_graph, space, scheduler, cache=cache
+    )
+    assert cache.stats.hits == len(space), cache.stats.summary()
+    assert table_to_json(first) == reference
+    assert table_to_json(second) == reference, "cache round-trip must be lossless"
+    RESULTS["cached_build"] = {
+        "states": len(space),
+        "cold_s": t_cold,
+        "warm_s": t_warm,
+        "speedup": t_cold / t_warm if t_warm > 0 else float("inf"),
+        "stats": cache.stats.summary(),
+    }
+    print(
+        f"\n  cached build: cold={t_cold * 1e3:.1f}ms warm={t_warm * 1e3:.1f}ms; "
+        f"{cache.stats.summary()}"
+    )
+
+
+def test_shape_table_fault_sweep(tracker_graph, tmp_path):
+    """The faults ShapeTable sweep: sequential vs. parallel vs. cached."""
+    base = ClusterSpec(nodes=2, procs_per_node=2 if QUICK else 4)
+    state = State(n_models=2)
+    seq, t_seq = _timed(ShapeTable.build, tracker_graph, state, base)
+    par, t_par = _timed(ShapeTable.build, tracker_graph, state, base, parallel=2)
+    assert [s.summary() for s in seq.solutions()] == [
+        s.summary() for s in par.solutions()
+    ]
+    cache = ScheduleCache(tmp_path / "shapes")
+    ShapeTable.build(tracker_graph, state, base, cache=cache)
+    cached, t_cached = _timed(
+        ShapeTable.build, tracker_graph, state, base, cache=cache
+    )
+    assert cache.stats.hits > 0
+    assert [s.summary() for s in cached.solutions()] == [
+        s.summary() for s in seq.solutions()
+    ]
+    RESULTS["shape_table"] = {
+        "shapes": len(seq),
+        "sequential_s": t_seq,
+        "parallel2_s": t_par,
+        "cached_s": t_cached,
+        "stats": cache.stats.summary(),
+    }
+    print(
+        f"\n  shape sweep ({len(seq)} shapes): seq={t_seq * 1e3:.1f}ms "
+        f"parallel=2 {t_par * 1e3:.1f}ms cached={t_cached * 1e3:.1f}ms"
+    )

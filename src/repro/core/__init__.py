@@ -30,10 +30,20 @@ Extensions beyond the paper's core (each motivated by its text):
   machinery).
 * :mod:`repro.core.sensitivity` — robustness of schedules to error in the
   measured execution times Figure 6 consumes.
+* :mod:`repro.core.parallel` — batch fan-out of independent off-line
+  solves over worker processes, with deterministic results.
+* :mod:`repro.core.cache` — content-addressed on-disk cache of solved
+  schedules, so unchanged states are never re-solved.
 """
 
 from repro.core.schedule import Placement, IterationSchedule, PipelinedSchedule
-from repro.core.enumerate import enumerate_schedules, EnumerationResult
+from repro.core.enumerate import (
+    enumerate_schedules,
+    search_schedules,
+    warm_incumbent,
+    EnumerationResult,
+    SearchProblem,
+)
 from repro.core.pipeline import (
     naive_pipeline,
     min_initiation_interval,
@@ -44,7 +54,13 @@ from repro.core.regime import RegimeDetector, RegimeChange
 from repro.core.table import ScheduleTable, RegimeSwitcher
 from repro.core.transition import TransitionPolicy, DrainTransition, ImmediateTransition
 from repro.core.replay import replay_with_state, replay_pipelined
-from repro.core.frontier import FrontierPoint, latency_throughput_frontier
+from repro.core.frontier import (
+    FrontierPoint,
+    latency_throughput_frontier,
+    frontier_sweep,
+)
+from repro.core.parallel import SolveRequest, make_request, solve_many
+from repro.core.cache import CacheStats, ScheduleCache
 from repro.core.sensitivity import sensitivity_profile, SensitivityProfile
 from repro.core.interpolate import InterpolatingTable
 from repro.core.serialize import table_to_json, table_from_json
@@ -54,6 +70,12 @@ __all__ = [
     "replay_pipelined",
     "FrontierPoint",
     "latency_throughput_frontier",
+    "frontier_sweep",
+    "SolveRequest",
+    "make_request",
+    "solve_many",
+    "CacheStats",
+    "ScheduleCache",
     "sensitivity_profile",
     "SensitivityProfile",
     "InterpolatingTable",
@@ -63,7 +85,10 @@ __all__ = [
     "IterationSchedule",
     "PipelinedSchedule",
     "enumerate_schedules",
+    "search_schedules",
+    "warm_incumbent",
     "EnumerationResult",
+    "SearchProblem",
     "naive_pipeline",
     "min_initiation_interval",
     "best_pipelined",

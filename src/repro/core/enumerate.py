@@ -23,23 +23,57 @@ predecessors (plus communication delay) allow.  The search prunes with a
 critical-path lower bound and returns the exact minimal latency **L**
 together with the set **S** of distinct optimal schedules (capped at
 ``max_solutions`` for memory; the total count is still reported).
+
+Three accelerations keep the off-line phase affordable at scale, all of
+them semantics-preserving (same L, same set S up to canonical order):
+
+* **warm start** — the HEFT-style list scheduler
+  (:mod:`repro.sched.listsched`) provides an incumbent upper bound before
+  the search begins, so the lower-bound prune bites from node 1 instead of
+  only after the first complete leaf;
+* **transposition table** — different interleavings of independent tasks
+  reach the *same* partial placement; each such state is explored once
+  (the dominance cut keyed on the full canonicalized placement set is
+  exact, so no member of S is lost);
+* **hoisted inner loops** — candidate nodes, per-node processor orders and
+  per-speed variant durations are computed once per ready-task expansion
+  instead of once per placement attempt.
+
+The search core (:func:`search_schedules`) operates on a pure-data
+:class:`SearchProblem` snapshot in which every cost callable has already
+been evaluated, so problems pickle cheaply for the process-pool fan-out in
+:mod:`repro.core.parallel` and digest stably for the on-disk cache in
+:mod:`repro.core.cache`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import InfeasibleSchedule, ScheduleError
+from repro.errors import InfeasibleSchedule, ReproError, ScheduleError
 from repro.core.schedule import IterationSchedule, Placement
+from repro.graph.task import Variant
 from repro.graph.taskgraph import TaskGraph
 from repro.sim.cluster import ClusterSpec
 from repro.sim.network import CommModel
 from repro.state import State
 
-__all__ = ["EnumerationResult", "enumerate_schedules"]
+__all__ = [
+    "EnumerationResult",
+    "SearchProblem",
+    "enumerate_schedules",
+    "search_schedules",
+    "warm_incumbent",
+]
 
 _EPS = 1e-9
+# Relative inflation applied to the warm-start incumbent before it is used
+# as a pruning bound: the list scheduler accumulates the same schedule's
+# finish times in a different order, so its float latency can sit a few
+# ulps below what the search arithmetic would compute for that schedule.
+_INCUMBENT_MARGIN = 1e-12
 
 
 @dataclass
@@ -59,6 +93,14 @@ class EnumerationResult:
         Branch-and-bound nodes visited — a cost diagnostic.
     state:
         The application state the enumeration was run for.
+    elapsed_s:
+        Wall-clock seconds the search took.
+    pruned_bound:
+        Subtrees cut by the critical-path lower bound (including the
+        warm-start incumbent bound).
+    pruned_dominance:
+        Subtrees cut by the transposition table (identical partial
+        placements reached through a different task interleaving).
     """
 
     latency: float
@@ -66,6 +108,14 @@ class EnumerationResult:
     optimal_count: int
     explored: int
     state: State
+    elapsed_s: float = 0.0
+    pruned_bound: int = 0
+    pruned_dominance: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Total subtrees cut (bound + dominance)."""
+        return self.pruned_bound + self.pruned_dominance
 
     @property
     def best(self) -> IterationSchedule:
@@ -73,6 +123,103 @@ class EnumerationResult:
         if not self.schedules:
             raise InfeasibleSchedule("enumeration produced no schedule")
         return self.schedules[0]
+
+
+@dataclass
+class SearchProblem:
+    """A pure-data snapshot of one (graph, state) scheduling problem.
+
+    Everything :func:`search_schedules` needs, with every cost callable
+    already evaluated: task order, per-task variants, precedence, and
+    per-edge byte counts.  The object is picklable (it carries no
+    callables), so it can be shipped to worker processes
+    (:mod:`repro.core.parallel`) and digested into a stable cache key
+    (:mod:`repro.core.cache`).
+    """
+
+    graph_name: str
+    order_names: tuple[str, ...]
+    variants: dict[str, tuple[Variant, ...]]
+    preds: dict[str, tuple[str, ...]]
+    succs: dict[str, tuple[str, ...]]
+    edge_bytes: dict[tuple[str, str], int]
+
+    @classmethod
+    def from_graph(
+        cls, graph: TaskGraph, state: State, max_workers: Optional[int] = None
+    ) -> "SearchProblem":
+        """Evaluate all costs of ``graph`` under ``state`` into a snapshot.
+
+        ``max_workers`` caps the data-parallel variants materialized; pass
+        the resolved cap (callers default it to the cluster's
+        processors-per-node, where data-parallel placements must fit).
+        """
+        graph.validate()
+        order = tuple(graph.topo_order())
+        variants = {
+            name: tuple(graph.task(name).variants(state, max_workers=max_workers))
+            for name in order
+        }
+        preds = {name: tuple(graph.predecessors(name)) for name in order}
+        succs = {name: tuple(graph.successors(name)) for name in order}
+        edge_bytes = {
+            (p, name): graph.comm_bytes(p, name, state)
+            for name in order
+            for p in preds[name]
+        }
+        return cls(
+            graph_name=graph.name,
+            order_names=order,
+            variants=variants,
+            preds=preds,
+            succs=succs,
+            edge_bytes=edge_bytes,
+        )
+
+    def digest_payload(self) -> dict:
+        """A JSON-safe, content-only description used for cache keys.
+
+        Deliberately excludes the graph *name*: two graphs with identical
+        structure and costs are the same scheduling problem.
+        """
+        return {
+            "tasks": [
+                {
+                    "name": name,
+                    "preds": list(self.preds[name]),
+                    "variants": [
+                        [v.workers, v.duration, v.label, v.chunks]
+                        for v in self.variants[name]
+                    ],
+                }
+                for name in self.order_names
+            ],
+            "edges": sorted(
+                [src, dst, nbytes] for (src, dst), nbytes in self.edge_bytes.items()
+            ),
+        }
+
+
+def warm_incumbent(
+    graph: TaskGraph,
+    state: State,
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    max_workers: Optional[int] = None,
+) -> Optional[float]:
+    """Latency of the HEFT-style list schedule — an upper bound on L.
+
+    Returns ``None`` when the heuristic cannot produce a legal schedule;
+    the search then simply starts cold.
+    """
+    from repro.sched.listsched import list_schedule  # deferred: avoids import cycle
+
+    try:
+        return list_schedule(
+            graph, state, cluster, comm=comm, max_workers=max_workers
+        ).latency
+    except (ReproError, AssertionError):
+        return None
 
 
 def enumerate_schedules(
@@ -85,6 +232,8 @@ def enumerate_schedules(
     node_limit: int = 2_000_000,
     tolerance: float = 1e-9,
     latency_slack: float = 0.0,
+    warm_start: bool = True,
+    dominance: bool = True,
 ) -> EnumerationResult:
     """Compute L and S for one application state.
 
@@ -116,43 +265,101 @@ def enumerate_schedules(
         paper's S).  Used by the latency/throughput frontier
         (:mod:`repro.core.frontier`) to trade latency for initiation
         interval the way [13] (Subhlok & Vondran) explores.
+    warm_start:
+        Seed the search with the list scheduler's latency as an incumbent
+        upper bound.  Never changes L or S — only how much of the tree is
+        visited.
+    dominance:
+        Enable the transposition table.  Exact with respect to L and the
+        full set S; when |S| exceeds ``max_solutions`` the *materialized
+        subset* may differ from a cold run (both runs materialize some
+        ``max_solutions``-sized subset of the same S).
     """
-    graph.validate()
-    order_names = graph.topo_order()
+    dp_cap = max_workers if max_workers is not None else cluster.procs_per_node
+    problem = SearchProblem.from_graph(graph, state, max_workers=dp_cap)
+    incumbent = None
+    if warm_start and problem.order_names:
+        incumbent = warm_incumbent(graph, state, cluster, comm=comm, max_workers=dp_cap)
+    return search_schedules(
+        problem,
+        state,
+        cluster,
+        comm,
+        max_solutions=max_solutions,
+        node_limit=node_limit,
+        tolerance=tolerance,
+        latency_slack=latency_slack,
+        incumbent=incumbent,
+        dominance=dominance,
+    )
+
+
+def search_schedules(
+    problem: SearchProblem,
+    state: State,
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    *,
+    max_solutions: int = 64,
+    node_limit: int = 2_000_000,
+    tolerance: float = 1e-9,
+    latency_slack: float = 0.0,
+    incumbent: Optional[float] = None,
+    dominance: bool = True,
+) -> EnumerationResult:
+    """The branch-and-bound core, operating on a :class:`SearchProblem`.
+
+    ``incumbent`` is an optional upper bound on L (a legal schedule's
+    latency); it tightens pruning from the first node without affecting
+    which schedules are ultimately collected.
+    """
+    t0 = time.perf_counter()
+    order_names = problem.order_names
     if not order_names:
-        return EnumerationResult(0.0, [IterationSchedule([], name="empty")], 1, 0, state)
+        return EnumerationResult(
+            0.0,
+            [IterationSchedule([], name="empty")],
+            1,
+            0,
+            state,
+            elapsed_s=time.perf_counter() - t0,
+        )
 
     P = cluster.total_processors
-    dp_cap = max_workers if max_workers is not None else cluster.procs_per_node
+    variants = problem.variants
+    preds = problem.preds
+    succs = problem.succs
+    edge_bytes = problem.edge_bytes
 
-    # Pre-compute variants and the remaining-critical-path lower bound.
-    # Durations in the bound are divided by the fastest node speed so the
-    # bound stays admissible on heterogeneous clusters.
-    variants = {
-        name: graph.task(name).variants(state, max_workers=dp_cap)
-        for name in order_names
-    }
+    # Remaining-critical-path lower bound.  Durations in the bound are
+    # divided by the fastest node speed so the bound stays admissible on
+    # heterogeneous clusters.
     fastest = max(cluster.node_speeds)
     best_dur = {
         name: min(v.duration for v in vs) / fastest for name, vs in variants.items()
     }
-    succs = {name: graph.successors(name) for name in order_names}
-    preds = {name: graph.predecessors(name) for name in order_names}
     rem_cp: dict[str, float] = {}
     for name in reversed(order_names):
         tail = max((rem_cp[s] for s in succs[name]), default=0.0)
         rem_cp[name] = best_dur[name] + tail
+    # Minimal processor-time a task can occupy (workers x wall time), for
+    # the load half of the lower bound.  A w-wide variant holds w
+    # processors for duration/speed wall seconds, so its work is at least
+    # w * duration / fastest.
+    min_work = {
+        name: min(v.workers * v.duration for v in vs) / fastest
+        for name, vs in variants.items()
+    }
 
     # Communication helper (primary-processor to primary-processor).
     if comm is None:
         comm = CommModel.free(cluster)
-    edge_bytes: dict[tuple[str, str], int] = {}
-    for name in order_names:
-        for p in preds[name]:
-            edge_bytes[(p, name)] = graph.comm_bytes(p, name, state)
+    transfer_time = comm.transfer_time
 
     # Search state.
     free = [0.0] * P
+    sum_free = [0.0]
+    rem_work = [sum(min_work.values())]
     placed: dict[str, Placement] = {}
     n_unscheduled_preds = {name: len(preds[name]) for name in order_names}
     ready = sorted(n for n in order_names if n_unscheduled_preds[n] == 0)
@@ -161,13 +368,49 @@ def enumerate_schedules(
     solutions: dict[tuple, tuple[float, IterationSchedule]] = {}
     optimal_count = [0]
     explored = [0]
+    pruned_bound = [0]
+    pruned_dominance = [0]
 
-    node_procs = {n: [p.index for p in cluster.node_processors(n)] for n in range(cluster.nodes)}
-    node_speed = {n: cluster.node_speeds[n] for n in range(cluster.nodes)}
+    nodes = cluster.nodes
+    node_procs = [[p.index for p in cluster.node_processors(n)] for n in range(nodes)]
+    node_proc_sets = [frozenset(ps) for ps in node_procs]
+    node_speed = cluster.node_speeds
+    procs_per_node = cluster.procs_per_node
+
+    # Variant durations pre-resolved per node speed, and node-unplaceable
+    # variants dropped once — both hoisted out of the placement loop.
+    var_durs = {
+        name: tuple(
+            (v, tuple(v.duration / node_speed[n] for n in range(nodes)))
+            for v in vs
+            if v.workers <= procs_per_node
+        )
+        for name, vs in variants.items()
+    }
+
+    slack_factor = 1.0 + latency_slack
+    if incumbent is not None:
+        inc_cutoff = (
+            incumbent * (1.0 + _INCUMBENT_MARGIN) + _INCUMBENT_MARGIN
+        ) * slack_factor + tolerance
+    else:
+        inc_cutoff = float("inf")
+
+    # Transposition table: canonical signatures of partial placements
+    # already expanded.  A partial placement set fully determines the
+    # remaining subproblem (free times and ready sets are derivable from
+    # it), so a repeat visit is an identical subtree.
+    seen_states: set[frozenset] = set()
+    placed_sig: dict[str, tuple] = {}
 
     def admit_threshold() -> float:
         """Latency below which a finished schedule joins the solution set."""
-        return best_latency[0] * (1.0 + latency_slack) + tolerance
+        return best_latency[0] * slack_factor + tolerance
+
+    def prune_cutoff() -> float:
+        """Bound for subtree pruning: best-so-far or the warm incumbent."""
+        cut = best_latency[0] * slack_factor + tolerance
+        return cut if cut < inc_cutoff else inc_cutoff
 
     def record_solution() -> None:
         lat = max(p.end for p in placed.values())
@@ -190,20 +433,48 @@ def enumerate_schedules(
                     solutions[key] = (lat, sched)
 
     def lower_bound(current_max_end: float) -> float:
+        """Admissible bound on the best completed latency below this node.
+
+        Two halves, both exact lower bounds:
+
+        * **critical path** — earliest-start estimates propagated through
+          every unplaced task (placed predecessors contribute their actual
+          finish, unplaced ones their fastest duration), plus the task's
+          remaining chain;
+        * **load** — all remaining work lands after each processor's
+          current free time, so ``P * latency >= sum(free) + remaining
+          minimal work``.
+        """
         lb = current_max_end
+        est_b: dict[str, float] = {}
         for name in order_names:
             if name in placed:
                 continue
-            if n_unscheduled_preds[name] == 0:
-                est = max((placed[p].end for p in preds[name]), default=0.0)
-                lb = max(lb, est + rem_cp[name])
+            est = 0.0
+            for p in preds[name]:
+                pl = placed.get(p)
+                if pl is not None:
+                    if pl.end > est:
+                        est = pl.end
+                else:
+                    cand = est_b[p] + best_dur[p]
+                    if cand > est:
+                        est = cand
+            est_b[name] = est
+            path = est + rem_cp[name]
+            if path > lb:
+                lb = path
+        if rem_work[0] > 0.0:
+            load = (sum_free[0] + rem_work[0]) / P
+            if load > lb:
+                lb = load
         return lb
 
     def candidate_nodes() -> list[int]:
         """One representative node per identical (free-times, speed) class."""
         seen: set[tuple] = set()
         out: list[int] = []
-        for n in range(cluster.nodes):
+        for n in range(nodes):
             key = (tuple(sorted(free[p] for p in node_procs[n])), node_speed[n])
             if key not in seen:
                 seen.add(key)
@@ -212,13 +483,21 @@ def enumerate_schedules(
 
     def place_and_recurse(name: str, ready_rest: list[str]) -> None:
         data_ready_base = [(p, placed[p].end, placed[p].primary) for p in preds[name]]
-        pred_primaries = {pprimary for _, _, pprimary in data_ready_base}
-        for var in variants[name]:
+        pred_primaries = sorted({pprimary for _, _, pprimary in data_ready_base})
+        rem = rem_cp[name]
+        # Loop-invariant across variants and placement choices: the free
+        # profile only changes inside deeper recursion (and is restored),
+        # so candidate nodes and per-node processor orders are computed
+        # once per ready-task expansion.
+        cand_nodes = candidate_nodes()
+        sorted_procs = {
+            node: sorted(node_procs[node], key=lambda p: (free[p], p))
+            for node in cand_nodes
+        }
+        for var, durs in var_durs[name]:
             w = var.workers
-            if w > cluster.procs_per_node:
-                continue
-            for node in candidate_nodes():
-                procs_here = sorted(node_procs[node], key=lambda p: (free[p], p))
+            for node in cand_nodes:
+                procs_here = sorted_procs[node]
                 if w > len(procs_here):
                     continue
                 # Candidate processor sets for this node: the w earliest-free
@@ -229,29 +508,46 @@ def enumerate_schedules(
                 # communication).
                 choices = [tuple(procs_here[:w])]
                 if w == 1:
-                    for pp in sorted(pred_primaries):
-                        if pp in node_procs[node] and (pp,) not in choices:
+                    for pp in pred_primaries:
+                        if pp in node_proc_sets[node] and (pp,) not in choices:
                             choices.append((pp,))
+                dur = durs[node]
                 for chosen in choices:
-                    _try_placement(name, var, node, chosen, data_ready_base,
-                                   ready_rest)
+                    _try_placement(name, var, dur, chosen, data_ready_base,
+                                   ready_rest, rem)
 
-    def _try_placement(name, var, node, chosen, data_ready_base, ready_rest):
+    def _try_placement(name, var, dur, chosen, data_ready_base, ready_rest, rem):
         primary = chosen[0]
-        dur = var.duration / node_speed[node]
         est = max((free[p] for p in chosen), default=0.0)
         for pred, pend, pprimary in data_ready_base:
-            delay = comm.transfer_time(edge_bytes[(pred, name)], pprimary, primary)
+            delay = transfer_time(edge_bytes[(pred, name)], pprimary, primary)
             est = max(est, pend + delay)
+        cutoff = prune_cutoff()
+        # Lower bound, part 1: this task's own remaining chain from est.
+        if est + rem > cutoff:
+            pruned_bound[0] += 1
+            return
         end = est + dur
-        # Lower bound: this task's own remaining chain from est.
-        if est + rem_cp[name] > admit_threshold():
+        saved = [free[p] for p in chosen]
+        # Lower bound, part 2 (load): committing this placement raises each
+        # chosen processor's free time to `end`; all remaining work can only
+        # land after the free times, so P * latency >= sum(free) + the
+        # minimal processor-time of the still-unplaced tasks.  This is what
+        # prices out inefficient data-parallel variants and idle-inducing
+        # placements early.
+        new_sum = sum_free[0] - sum(saved) + end * len(chosen)
+        new_rem = rem_work[0] - min_work[name]
+        if (new_sum + new_rem) / P > cutoff:
+            pruned_bound[0] += 1
             return
         placement = Placement(name, chosen, est, dur, variant=var.label)
-        saved = [free[p] for p in chosen]
+        old_sum, old_rem = sum_free[0], rem_work[0]
         for p in chosen:
             free[p] = end
+        sum_free[0] = new_sum
+        rem_work[0] = new_rem
         placed[name] = placement
+        placed_sig[name] = (name, chosen, round(est, 12), round(dur, 12), var.label)
         newly_ready = []
         for s in succs[name]:
             n_unscheduled_preds[s] -= 1
@@ -262,8 +558,10 @@ def enumerate_schedules(
         for s in succs[name]:
             n_unscheduled_preds[s] += 1
         del placed[name]
+        del placed_sig[name]
         for p, t in zip(chosen, saved):
             free[p] = t
+        sum_free[0], rem_work[0] = old_sum, old_rem
 
     def recurse(ready_now: list[str]) -> None:
         explored[0] += 1
@@ -272,12 +570,19 @@ def enumerate_schedules(
                 f"enumeration exceeded node_limit={node_limit}; "
                 "reduce variants or raise the limit"
             )
+        if dominance and placed_sig:
+            sig = frozenset(placed_sig.values())
+            if sig in seen_states:
+                pruned_dominance[0] += 1
+                return
+            seen_states.add(sig)
         if not ready_now:
             if len(placed) == len(order_names):
                 record_solution()
             return
         current_max = max((pl.end for pl in placed.values()), default=0.0)
-        if lower_bound(current_max) > admit_threshold():
+        if lower_bound(current_max) > prune_cutoff():
+            pruned_bound[0] += 1
             return
         for i, name in enumerate(ready_now):
             place_and_recurse(name, ready_now[:i] + ready_now[i + 1 :])
@@ -285,7 +590,7 @@ def enumerate_schedules(
     recurse(ready)
     if not solutions:
         raise InfeasibleSchedule(
-            f"no legal schedule for graph {graph.name!r} on {cluster!r}"
+            f"no legal schedule for graph {problem.graph_name!r} on {cluster!r}"
         )
     ranked = sorted(solutions.values(), key=lambda pair: (pair[0], pair[1].canonical_key()))
     ordered = [
@@ -298,4 +603,7 @@ def enumerate_schedules(
         optimal_count=optimal_count[0],
         explored=explored[0],
         state=state,
+        elapsed_s=time.perf_counter() - t0,
+        pruned_bound=pruned_bound[0],
+        pruned_dominance=pruned_dominance[0],
     )

@@ -20,9 +20,9 @@ much throughput the latency-first policy leaves on the table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.core.enumerate import enumerate_schedules
+from repro.core.enumerate import EnumerationResult, enumerate_schedules
 from repro.core.pipeline import best_pipelined, naive_pipeline
 from repro.core.schedule import PipelinedSchedule
 from repro.graph.taskgraph import TaskGraph
@@ -30,7 +30,7 @@ from repro.sim.cluster import ClusterSpec
 from repro.sim.network import CommModel
 from repro.state import State
 
-__all__ = ["FrontierPoint", "latency_throughput_frontier"]
+__all__ = ["FrontierPoint", "latency_throughput_frontier", "frontier_sweep"]
 
 _EPS = 1e-9
 
@@ -78,6 +78,17 @@ def latency_throughput_frontier(
         max_solutions=max_solutions,
         latency_slack=latency_slack,
     )
+    return _points_from_result(result, graph, state, cluster, include_naive)
+
+
+def _points_from_result(
+    result: EnumerationResult,
+    graph: TaskGraph,
+    state: State,
+    cluster: ClusterSpec,
+    include_naive: bool,
+) -> list[FrontierPoint]:
+    """Pipeline every candidate and Pareto-filter the operating points."""
     candidates: list[FrontierPoint] = []
     for iteration in result.schedules:
         piped = best_pipelined(iteration, cluster, name=f"frontier[{iteration.name}]")
@@ -114,3 +125,45 @@ def latency_throughput_frontier(
             seen.add(key)
             unique.append(p)
     return unique
+
+
+def frontier_sweep(
+    graph: TaskGraph,
+    states: Sequence[State],
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    latency_slack: float = 1.0,
+    max_solutions: int = 256,
+    include_naive: bool = True,
+    max_workers: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> list[list[FrontierPoint]]:
+    """One frontier per state, with the enumerations batched.
+
+    The per-state enumerations are independent, so they fan out through
+    :func:`repro.core.parallel.solve_many` (``workers=None``/``1`` =
+    in-process; the frontiers are identical for every worker count).
+    Pipelining and Pareto filtering run in the parent — they are linear
+    in the candidate count.
+    """
+    from repro.core.parallel import make_request, solve_many
+
+    requests = [
+        make_request(
+            graph,
+            state,
+            cluster,
+            comm,
+            mode="enumerate",
+            max_workers=max_workers,
+            max_solutions=max_solutions,
+            latency_slack=latency_slack,
+            tag=state,
+        )
+        for state in states
+    ]
+    results = solve_many(requests, workers=workers)
+    return [
+        _points_from_result(result, graph, state, cluster, include_naive)
+        for state, result in zip(states, results)
+    ]

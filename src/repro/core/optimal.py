@@ -26,7 +26,7 @@ from repro.sim.cluster import ClusterSpec
 from repro.sim.network import CommModel
 from repro.state import State
 
-__all__ = ["ScheduleSolution", "OptimalScheduler"]
+__all__ = ["ScheduleSolution", "OptimalScheduler", "solution_from_enumeration"]
 
 _EPS = 1e-9
 
@@ -78,6 +78,32 @@ class ScheduleSolution:
         )
 
 
+def solution_from_enumeration(
+    result: EnumerationResult, cluster: ClusterSpec
+) -> ScheduleSolution:
+    """Step 3 of Figure 6: pick the throughput-best pipelining of a member of S.
+
+    Shared by :meth:`OptimalScheduler.solve` and the process-pool workers
+    of :mod:`repro.core.parallel`, so both paths produce bit-identical
+    solutions.
+    """
+    best: Optional[PipelinedSchedule] = None
+    best_iter: Optional[IterationSchedule] = None
+    for candidate in result.schedules:
+        piped = best_pipelined(candidate, cluster, name=f"M[{candidate.name}]")
+        if best is None or piped.period < best.period - _EPS:
+            best = piped
+            best_iter = candidate
+    assert best is not None and best_iter is not None
+    return ScheduleSolution(
+        state=result.state,
+        iteration=best_iter,
+        pipelined=best,
+        alternatives=result.optimal_count,
+        explored=result.explored,
+    )
+
+
 class OptimalScheduler:
     """Off-line optimal scheduler for one cluster configuration.
 
@@ -99,12 +125,16 @@ class OptimalScheduler:
         max_workers: Optional[int] = None,
         max_solutions: int = 64,
         node_limit: int = 2_000_000,
+        warm_start: bool = True,
+        dominance: bool = True,
     ) -> None:
         self.cluster = cluster
         self.comm = comm
         self.max_workers = max_workers
         self.max_solutions = max_solutions
         self.node_limit = node_limit
+        self.warm_start = warm_start
+        self.dominance = dominance
 
     def enumerate(self, graph: TaskGraph, state: State) -> EnumerationResult:
         """Steps 1-2 of Figure 6: minimal latency L and the set S."""
@@ -116,23 +146,33 @@ class OptimalScheduler:
             max_workers=self.max_workers,
             max_solutions=self.max_solutions,
             node_limit=self.node_limit,
+            warm_start=self.warm_start,
+            dominance=self.dominance,
+        )
+
+    def request(self, graph: TaskGraph, state: State, tag=None):
+        """A picklable :class:`~repro.core.parallel.SolveRequest` for this solve.
+
+        The request snapshots all costs, so it can be executed in a worker
+        process (:func:`repro.core.parallel.solve_many`) or digested into a
+        cache key (:mod:`repro.core.cache`) without re-touching the graph.
+        """
+        from repro.core.parallel import make_request  # deferred: avoids import cycle
+
+        return make_request(
+            graph,
+            state,
+            self.cluster,
+            self.comm,
+            mode="solve",
+            max_workers=self.max_workers,
+            max_solutions=self.max_solutions,
+            node_limit=self.node_limit,
+            warm_start=self.warm_start,
+            dominance=self.dominance,
+            tag=tag,
         )
 
     def solve(self, graph: TaskGraph, state: State) -> ScheduleSolution:
         """All three steps: the throughput-best pipelining of a member of S."""
-        result = self.enumerate(graph, state)
-        best: Optional[PipelinedSchedule] = None
-        best_iter: Optional[IterationSchedule] = None
-        for candidate in result.schedules:
-            piped = best_pipelined(candidate, self.cluster, name=f"M[{candidate.name}]")
-            if best is None or piped.period < best.period - _EPS:
-                best = piped
-                best_iter = candidate
-        assert best is not None and best_iter is not None
-        return ScheduleSolution(
-            state=state,
-            iteration=best_iter,
-            pipelined=best,
-            alternatives=result.optimal_count,
-            explored=result.explored,
-        )
+        return solution_from_enumeration(self.enumerate(graph, state), self.cluster)

@@ -1,0 +1,229 @@
+"""Batch fan-out of independent off-line solves.
+
+The off-line phase is embarrassingly parallel across *problems*: every
+state of a :class:`~repro.state.StateSpace`, every degraded shape of a
+:class:`~repro.faults.failover.ShapeTable`, every slack level of a
+frontier sweep is an independent branch-and-bound.  This module packages
+one solve as a picklable :class:`SolveRequest` and runs batches of them
+through a ``ProcessPoolExecutor``.
+
+Determinism is the contract: ``solve_many`` executes the *same* code path
+(:func:`execute_request`) whether it runs in-process or in worker
+processes, and returns results in request order — so a table built with
+``workers=8`` serializes bit-identically to one built with ``workers=1``.
+
+Fallbacks are graceful: ``workers=1`` (or a single request) never spawns
+a pool; a platform without the ``fork`` start method, or a pool that
+fails to start or breaks mid-flight, degrades to the in-process path
+rather than erroring out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from repro.core.enumerate import (
+    EnumerationResult,
+    SearchProblem,
+    search_schedules,
+    warm_incumbent,
+)
+from repro.core.optimal import ScheduleSolution, solution_from_enumeration
+from repro.errors import ReproError
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommModel
+from repro.state import State
+
+__all__ = [
+    "SolveRequest",
+    "make_request",
+    "execute_request",
+    "solve_many",
+    "default_workers",
+]
+
+
+@dataclass
+class SolveRequest:
+    """One self-contained off-line solve, ready to ship to a worker.
+
+    The request carries a :class:`~repro.core.enumerate.SearchProblem`
+    (all cost callables pre-evaluated) instead of the graph itself, so it
+    pickles cheaply and digests stably for the on-disk cache.
+
+    ``mode`` selects what :func:`execute_request` returns:
+
+    * ``"solve"`` — a full :class:`~repro.core.optimal.ScheduleSolution`
+      (steps 1-3 of Figure 6);
+    * ``"enumerate"`` — the raw
+      :class:`~repro.core.enumerate.EnumerationResult` (steps 1-2 only),
+      used by the frontier and sensitivity sweeps that inspect S itself.
+
+    ``tag`` is an opaque caller label (a state, a shape key, a trial
+    index) carried through untouched; ``solve_many`` never looks at it.
+    """
+
+    problem: SearchProblem
+    state: State
+    cluster: ClusterSpec
+    comm: Optional[CommModel] = None
+    mode: str = "solve"
+    max_solutions: int = 64
+    node_limit: int = 2_000_000
+    tolerance: float = 1e-9
+    latency_slack: float = 0.0
+    incumbent: Optional[float] = None
+    dominance: bool = True
+    tag: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("solve", "enumerate"):
+            raise ValueError(f"unknown solve mode {self.mode!r}")
+
+
+def make_request(
+    graph: TaskGraph,
+    state: State,
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    *,
+    mode: str = "solve",
+    max_workers: Optional[int] = None,
+    max_solutions: int = 64,
+    node_limit: int = 2_000_000,
+    tolerance: float = 1e-9,
+    latency_slack: float = 0.0,
+    warm_start: bool = True,
+    dominance: bool = True,
+    tag: Any = None,
+) -> SolveRequest:
+    """Snapshot one (graph, state, cluster) solve into a :class:`SolveRequest`.
+
+    The warm-start incumbent is computed *here*, in the parent process —
+    the list scheduler is linear-time, and workers then need nothing but
+    the pure-data request.
+    """
+    dp_cap = max_workers if max_workers is not None else cluster.procs_per_node
+    problem = SearchProblem.from_graph(graph, state, max_workers=dp_cap)
+    incumbent = None
+    if warm_start and problem.order_names:
+        incumbent = warm_incumbent(graph, state, cluster, comm=comm, max_workers=dp_cap)
+    return SolveRequest(
+        problem=problem,
+        state=state,
+        cluster=cluster,
+        comm=comm,
+        mode=mode,
+        max_solutions=max_solutions,
+        node_limit=node_limit,
+        tolerance=tolerance,
+        latency_slack=latency_slack,
+        incumbent=incumbent,
+        dominance=dominance,
+        tag=tag,
+    )
+
+
+def execute_request(
+    request: SolveRequest,
+) -> Union[ScheduleSolution, EnumerationResult]:
+    """Run one request to completion (works in any process)."""
+    result = search_schedules(
+        request.problem,
+        request.state,
+        request.cluster,
+        request.comm,
+        max_solutions=request.max_solutions,
+        node_limit=request.node_limit,
+        tolerance=request.tolerance,
+        latency_slack=request.latency_slack,
+        incumbent=request.incumbent,
+        dominance=request.dominance,
+    )
+    if request.mode == "enumerate":
+        return result
+    return solution_from_enumeration(result, request.cluster)
+
+
+def default_workers() -> int:
+    """Usable CPU count (respects affinity masks where the OS exposes them)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_in_process(
+    requests: Sequence[SolveRequest], return_exceptions: bool
+) -> list:
+    out: list = []
+    for request in requests:
+        try:
+            out.append(execute_request(request))
+        except ReproError as exc:
+            if not return_exceptions:
+                raise
+            out.append(exc)
+    return out
+
+
+def solve_many(
+    requests: Sequence[SolveRequest],
+    workers: Optional[int] = None,
+    return_exceptions: bool = False,
+) -> list:
+    """Execute a batch of solve requests, results in request order.
+
+    Parameters
+    ----------
+    requests:
+        The batch; each element is solved independently.
+    workers:
+        Process count.  ``None`` uses :func:`default_workers`; ``1`` (or a
+        single-element batch) runs in-process with no pool.  Either way
+        the arithmetic is identical, so results — and any tables
+        serialized from them — are bitwise the same for every worker
+        count.
+    return_exceptions:
+        When true, a request that raises a domain error
+        (:class:`~repro.errors.ReproError`, e.g. an infeasible degraded
+        shape) contributes the *exception object* at its position instead
+        of aborting the batch — callers like
+        :class:`~repro.faults.failover.ShapeTable` filter those out.
+        Non-domain failures (a broken pool, an unpicklable payload) are
+        never returned; they trigger the in-process fallback.
+    """
+    reqs = list(requests)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(reqs) <= 1:
+        return _run_in_process(reqs, return_exceptions)
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return _run_in_process(reqs, return_exceptions)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(reqs)), mp_context=ctx
+        ) as pool:
+            futures = [pool.submit(execute_request, r) for r in reqs]
+            out: list = []
+            for future in futures:
+                try:
+                    out.append(future.result())
+                except ReproError as exc:
+                    if not return_exceptions:
+                        raise
+                    out.append(exc)
+            return out
+    except ReproError:
+        raise
+    except Exception:  # pragma: no cover - pool-level failure
+        # BrokenProcessPool, pickling trouble, fork refusal under an
+        # exotic runtime: the work itself is fine, so do it here instead.
+        return _run_in_process(reqs, return_exceptions)

@@ -154,23 +154,45 @@ def sensitivity_profile(
     trials: int = 20,
     seed: int = 0,
     comm: Optional[CommModel] = None,
+    workers: int = 1,
 ) -> SensitivityProfile:
-    """How much does cost error cost?  (Monte-Carlo over perturbations.)"""
+    """How much does cost error cost?  (Monte-Carlo over perturbations.)
+
+    ``workers`` fans the per-trial re-optimizations out over worker
+    processes (:func:`repro.core.parallel.solve_many`); the perturbation
+    factors are drawn identically for every worker count, so the profile
+    is reproducible regardless of parallelism.
+    """
+    from repro.core.parallel import make_request, solve_many
+
     if not 0.0 <= error_level < 1.0:
         raise ScheduleError(f"error_level must be in [0, 1), got {error_level}")
     if trials < 1:
         raise ScheduleError(f"trials must be >= 1, got {trials}")
     rng = random.Random(seed)
-    regrets = []
-    stable = 0
-    for _ in range(trials):
-        factors = {
+    all_factors = [
+        {
             t.name: rng.uniform(1.0 - error_level, 1.0 + error_level)
             for t in graph.tasks
         }
-        fixed = perturbed_latency(iteration, graph, state, factors, comm)
-        noisy = perturbed_graph(graph, factors)
-        best = enumerate_schedules(noisy, state, cluster, comm=comm).latency
+        for _ in range(trials)
+    ]
+    fixed_latencies = [
+        perturbed_latency(iteration, graph, state, factors, comm)
+        for factors in all_factors
+    ]
+    requests = [
+        make_request(
+            perturbed_graph(graph, factors), state, cluster, comm,
+            mode="enumerate", tag=trial,
+        )
+        for trial, factors in enumerate(all_factors)
+    ]
+    results = solve_many(requests, workers=workers)
+    regrets = []
+    stable = 0
+    for fixed, result in zip(fixed_latencies, results):
+        best = result.latency
         regret = fixed / best - 1.0 if best > 0 else 0.0
         regrets.append(max(regret, 0.0))
         if regret <= 1e-9:

@@ -53,14 +53,48 @@ class ScheduleTable:
         space: StateSpace,
         scheduler: OptimalScheduler,
         progress: Optional[Callable[[State, ScheduleSolution], None]] = None,
+        parallel: Optional[int] = None,
+        cache=None,
     ) -> "ScheduleTable":
-        """Run the off-line optimizer for every state in ``space``."""
-        solutions: dict[State, ScheduleSolution] = {}
-        for state in space:
-            sol = scheduler.solve(graph, state)
+        """Run the off-line optimizer for every state in ``space``.
+
+        Parameters
+        ----------
+        parallel:
+            Worker-process count for the batch of per-state solves
+            (``None`` or ``1`` = in-process).  Every worker count yields
+            a bitwise-identical table — same solves, same order, same
+            arithmetic (see :mod:`repro.core.parallel`).
+        cache:
+            Optional :class:`~repro.core.cache.ScheduleCache`; states
+            whose solve request digests to a cached entry skip the
+            branch-and-bound entirely, and fresh solves are stored back.
+        """
+        from repro.core.parallel import solve_many  # deferred: avoids import cycle
+
+        states = list(space)
+        requests = [scheduler.request(graph, state) for state in states]
+        solutions: dict[State, Optional[ScheduleSolution]] = {
+            state: None for state in states
+        }
+        pending = []
+        if cache is not None:
+            for state, request in zip(states, requests):
+                hit = cache.fetch(request)
+                if hit is not None:
+                    solutions[state] = hit
+                else:
+                    pending.append((state, request))
+        else:
+            pending = list(zip(states, requests))
+        solved = solve_many([req for _, req in pending], workers=parallel)
+        for (state, request), sol in zip(pending, solved):
             solutions[state] = sol
-            if progress is not None:
-                progress(state, sol)
+            if cache is not None:
+                cache.store(request, sol)
+        if progress is not None:
+            for state in states:
+                progress(state, solutions[state])
         return cls(solutions)
 
     def lookup(self, state: State) -> ScheduleSolution:

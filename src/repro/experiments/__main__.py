@@ -37,6 +37,11 @@ def main(argv: list[str] | None = None) -> int:
         "--output", metavar="FILE", default=None,
         help="also write the report to FILE",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the off-line solves (default: in-process); "
+             "results are identical for every worker count",
+    )
     args = parser.parse_args(argv)
 
     runners = {
@@ -53,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
     chunks: list[str] = []
     for name in names:
         t0 = time.perf_counter()
-        body = runners[name](args.quick)
+        body = runners[name](args.quick, args.workers)
         chunk = (
             f"=== {name} ===\n{body}\n"
             f"--- {name} done in {time.perf_counter() - t0:.1f}s ---\n"
@@ -67,13 +72,13 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _table1(quick: bool) -> str:
+def _table1(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.table1 import run_table1
 
     return run_table1().render()
 
 
-def _figure3(quick: bool) -> str:
+def _figure3(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.figure3 import DEFAULT_PERIODS, run_figure3
 
     periods = DEFAULT_PERIODS[::2] if quick else DEFAULT_PERIODS
@@ -81,39 +86,41 @@ def _figure3(quick: bool) -> str:
     return run_figure3(periods=periods, horizon=horizon).render()
 
 
-def _figure4(quick: bool) -> str:
+def _figure4(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.figure4 import run_figure4
 
     return run_figure4(horizon=60.0 if quick else 120.0).render()
 
 
-def _figure5(quick: bool) -> str:
+def _figure5(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.figure5 import run_figure5
 
     return run_figure5(iterations=8 if quick else 20).render()
 
 
-def _regime(quick: bool) -> str:
+def _regime(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.regime import run_regime
 
-    return run_regime(horizon=900.0 if quick else 3600.0).render()
+    return run_regime(horizon=900.0 if quick else 3600.0, workers=workers).render()
 
 
-def _frontier(quick: bool) -> str:
+def _frontier(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.frontier_exp import run_frontier
 
     counts = (8,) if quick else (1, 4, 8)
-    return run_frontier(model_counts=counts).render()
+    return run_frontier(model_counts=counts, workers=workers).render()
 
 
-def _faults(quick: bool) -> str:
+def _faults(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.faults_exp import run_faults
 
     rates = (0.0, 0.08) if quick else (0.0, 0.02, 0.08)
-    return run_faults(rates=rates, iterations=20 if quick else 40).render()
+    return run_faults(
+        rates=rates, iterations=20 if quick else 40, workers=workers
+    ).render()
 
 
-def _ablations(quick: bool) -> str:
+def _ablations(quick: bool, workers: int | None = None) -> str:
     from repro.experiments.ablations import render_all
 
     return render_all()

@@ -143,6 +143,7 @@ def run_faults(
     state: Optional[State] = None,
     seed: int = 7,
     mean_downtime: float = 8.0,
+    workers: Optional[int] = None,
 ) -> FaultsResult:
     """Sweep failure rate x transition policy over one fault subsystem run each.
 
@@ -156,7 +157,7 @@ def run_faults(
     graph = graph or chain_graph([1.0, 1.0])
     state = state or State(n_models=1)
     policies = policies or default_policies()
-    table = ShapeTable.build(graph, state, cluster)
+    table = ShapeTable.build(graph, state, cluster, parallel=workers)
     base_period = table.lookup(cluster).period
     # Rough wall-clock for the plan horizon: healthy cadence plus slack
     # for degraded stretches and transition stalls.

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.apps.tracker.graph import build_tracker_graph
-from repro.core.frontier import FrontierPoint, latency_throughput_frontier
+from repro.core.frontier import FrontierPoint, frontier_sweep
 from repro.core.optimal import OptimalScheduler
 from repro.experiments.report import format_table
 from repro.metrics.curves import CurvePoint, render_curve
@@ -70,18 +70,24 @@ def run_frontier(
     model_counts: Sequence[int] = (1, 4, 8),
     cluster: Optional[ClusterSpec] = None,
     latency_slack: float = 3.0,
+    workers: Optional[int] = None,
 ) -> FrontierResult:
-    """Compute the frontier for each state and mark the paper's choice."""
+    """Compute the frontier for each state and mark the paper's choice.
+
+    ``workers`` fans the per-state enumerations out over worker
+    processes; the frontiers are identical for every worker count.
+    """
     cluster = cluster or SINGLE_NODE_SMP(4)
     graph = build_tracker_graph()
     scheduler = OptimalScheduler(cluster)
+    states = [State(n_models=m) for m in model_counts]
+    sweeps = frontier_sweep(
+        graph, states, cluster, latency_slack=latency_slack, workers=workers
+    )
     frontiers: dict[int, list[FrontierPoint]] = {}
     chosen: dict[int, tuple[float, float]] = {}
-    for m in model_counts:
-        state = State(n_models=m)
-        frontiers[m] = latency_throughput_frontier(
-            graph, state, cluster, latency_slack=latency_slack
-        )
+    for m, state, points in zip(model_counts, states, sweeps):
+        frontiers[m] = points
         sol = scheduler.solve(graph, state)
         chosen[m] = (sol.latency, sol.throughput)
     return FrontierResult(frontiers=frontiers, chosen=chosen)

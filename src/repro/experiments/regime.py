@@ -144,8 +144,13 @@ def run_regime(
     kiosk: Optional[KioskEnvironment] = None,
     graph: Optional[TaskGraph] = None,
     buffered_frames: float = BUFFERED_FRAMES,
+    workers: Optional[int] = None,
 ) -> RegimeResult:
-    """Run the regime-switching comparison over a kiosk trace."""
+    """Run the regime-switching comparison over a kiosk trace.
+
+    ``workers`` parallelizes the off-line table build (same table for
+    every worker count).
+    """
     cluster = cluster or SINGLE_NODE_SMP(4)
     space = space or StateSpace.range("n_models", 1, 5)
     policy = policy or DrainTransition(setup=0.25)
@@ -158,7 +163,9 @@ def run_regime(
     if not intervals:
         raise ExperimentError("kiosk trace is empty")
 
-    table = ScheduleTable.build(graph, space, OptimalScheduler(cluster))
+    table = ScheduleTable.build(
+        graph, space, OptimalScheduler(cluster), parallel=workers
+    )
 
     # perf[(k, m)] = (service latency, sustainable II) when the schedule
     # structure pre-computed for state k runs under actual state m.

@@ -102,23 +102,55 @@ class ShapeTable:
         proc_failures: bool = True,
         scheduler_factory: Optional[Callable[[ClusterSpec], OptimalScheduler]] = None,
         progress: Optional[Callable[[ClusterSpec, ScheduleSolution], None]] = None,
+        parallel: Optional[int] = None,
+        cache=None,
     ) -> "ShapeTable":
         """Run the Figure 6 optimizer once per reachable degraded shape.
 
         Shapes the application cannot run on (e.g. fewer processors than a
         mandatory data-parallel width) are skipped; looking them up later
         raises :class:`~repro.errors.ShapeUnschedulable`.
+
+        ``parallel`` fans the per-shape solves out over worker processes
+        (``None``/``1`` = in-process; results are identical either way),
+        and ``cache`` is an optional
+        :class:`~repro.core.cache.ScheduleCache` consulted per shape.
         """
+        from repro.core.parallel import solve_many  # deferred: avoids import cycle
+
         factory = scheduler_factory or (lambda spec: OptimalScheduler(spec))
+        shapes = reachable_shapes(base, max_node_failures, proc_failures)
+        requests = [factory(spec).request(graph, state) for spec in shapes]
+        results: list = [None] * len(shapes)
+        pending: list[int] = []
+        if cache is not None:
+            for i, request in enumerate(requests):
+                hit = cache.fetch(request)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    pending.append(i)
+        else:
+            pending = list(range(len(shapes)))
+        # Infeasible shapes are expected (a failed node can strand a
+        # mandatory data-parallel width), so collect domain errors
+        # per-shape instead of aborting the batch.
+        solved = solve_many(
+            [requests[i] for i in pending], workers=parallel, return_exceptions=True
+        )
+        for i, outcome in zip(pending, solved):
+            results[i] = outcome
+            if cache is not None and isinstance(outcome, ScheduleSolution):
+                cache.store(requests[i], outcome)
         solutions: dict[tuple, ScheduleSolution] = {}
-        for spec in reachable_shapes(base, max_node_failures, proc_failures):
-            try:
-                sol = factory(spec).solve(graph, state)
-            except (InfeasibleSchedule, ScheduleError):
+        for spec, outcome in zip(shapes, results):
+            if isinstance(outcome, (InfeasibleSchedule, ScheduleError)):
                 continue
-            solutions[spec.shape_key()] = sol
+            if isinstance(outcome, Exception):
+                raise outcome
+            solutions[spec.shape_key()] = outcome
             if progress is not None:
-                progress(spec, sol)
+                progress(spec, outcome)
         if not solutions:
             raise ShapeUnschedulable(
                 f"no reachable shape of {base!r} can run the application"

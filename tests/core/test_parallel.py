@@ -1,0 +1,143 @@
+"""Tests for the batch solve fan-out (repro.core.parallel)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.enumerate import enumerate_schedules
+from repro.core.optimal import OptimalScheduler, ScheduleSolution
+from repro.core.parallel import (
+    SolveRequest,
+    default_workers,
+    execute_request,
+    make_request,
+    solve_many,
+)
+from repro.core.serialize import table_to_json
+from repro.core.table import ScheduleTable
+from repro.errors import ScheduleError
+from repro.graph.builders import chain_graph, fork_join_graph
+from repro.sim.cluster import ClusterSpec, SINGLE_NODE_SMP
+from repro.state import State, StateSpace
+
+
+@pytest.fixture
+def cluster():
+    return ClusterSpec(nodes=2, procs_per_node=2)
+
+
+def test_state_pickles_roundtrip():
+    s = State(n_models=5, n_cameras=2)
+    clone = pickle.loads(pickle.dumps(s))
+    assert clone == s and hash(clone) == hash(s)
+    assert clone.n_models == 5
+
+
+def test_request_pickles_roundtrip(tracker_graph, cluster):
+    req = make_request(tracker_graph, State(n_models=4), cluster, tag=("m", 4))
+    clone = pickle.loads(pickle.dumps(req))
+    assert clone.problem.order_names == req.problem.order_names
+    assert clone.incumbent == req.incumbent
+    assert clone.tag == ("m", 4)
+
+
+def test_execute_request_matches_direct_solve(tracker_graph, cluster):
+    state = State(n_models=4)
+    sched = OptimalScheduler(cluster)
+    direct = sched.solve(tracker_graph, state)
+    via_request = execute_request(sched.request(tracker_graph, state))
+    assert via_request.latency == direct.latency
+    assert via_request.period == direct.period
+    assert (
+        via_request.iteration.canonical_key() == direct.iteration.canonical_key()
+    )
+
+
+def test_enumerate_mode_returns_enumeration_result(tracker_graph, cluster):
+    state = State(n_models=2)
+    req = make_request(tracker_graph, state, cluster, mode="enumerate")
+    result = execute_request(req)
+    direct = enumerate_schedules(tracker_graph, state, cluster)
+    assert result.latency == direct.latency
+    assert {s.canonical_key() for s in result.schedules} == {
+        s.canonical_key() for s in direct.schedules
+    }
+
+
+def test_unknown_mode_rejected(tracker_graph, cluster):
+    with pytest.raises(ValueError, match="mode"):
+        make_request(tracker_graph, State(n_models=1), cluster, mode="wat")
+
+
+def test_solve_many_in_process_order(tracker_graph, cluster):
+    sched = OptimalScheduler(cluster)
+    states = [State(n_models=m) for m in (3, 1, 2)]
+    reqs = [sched.request(tracker_graph, s, tag=s) for s in states]
+    out = solve_many(reqs, workers=1)
+    assert [sol.state for sol in out] == states
+
+
+def test_solve_many_pool_matches_in_process(tracker_graph, cluster):
+    sched = OptimalScheduler(cluster)
+    states = [State(n_models=m) for m in (1, 2, 3, 4)]
+    reqs = [sched.request(tracker_graph, s) for s in states]
+    seq = solve_many(reqs, workers=1)
+    par = solve_many(reqs, workers=2)
+    for a, b in zip(seq, par):
+        assert a.latency == b.latency and a.period == b.period
+        assert a.iteration.canonical_key() == b.iteration.canonical_key()
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_solve_many_return_exceptions(tracker_graph, cluster, workers):
+    sched = OptimalScheduler(cluster)
+    ok = sched.request(tracker_graph, State(n_models=1))
+    bad = SolveRequest(
+        problem=ok.problem,
+        state=ok.state,
+        cluster=cluster,
+        node_limit=1,  # guaranteed to trip the safety valve
+    )
+    out = solve_many([ok, bad, ok], workers=workers, return_exceptions=True)
+    assert isinstance(out[0], ScheduleSolution)
+    assert isinstance(out[1], ScheduleError)
+    assert isinstance(out[2], ScheduleSolution)
+
+
+def test_solve_many_raises_without_flag(tracker_graph, cluster):
+    ok = OptimalScheduler(cluster).request(tracker_graph, State(n_models=1))
+    bad = SolveRequest(
+        problem=ok.problem, state=ok.state, cluster=cluster, node_limit=1
+    )
+    with pytest.raises(ScheduleError, match="node_limit"):
+        solve_many([ok, bad], workers=1)
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_table_build_bitwise_identical_across_workers(workers):
+    graph = fork_join_graph(0.2, [1.0, 1.0, 0.5], 0.2)
+    space = StateSpace.range("n_models", 1, 4)
+    sched = OptimalScheduler(SINGLE_NODE_SMP(3))
+    seq = ScheduleTable.build(graph, space, sched)
+    par = ScheduleTable.build(graph, space, sched, parallel=workers)
+    assert table_to_json(seq) == table_to_json(par)
+
+
+def test_table_build_progress_order_preserved(cluster):
+    graph = chain_graph([1.0, 0.5])
+    space = StateSpace.range("n_models", 1, 3)
+    seen = []
+    ScheduleTable.build(
+        graph,
+        space,
+        OptimalScheduler(cluster),
+        progress=lambda state, sol: seen.append(state),
+        parallel=2,
+    )
+    assert seen == list(space)

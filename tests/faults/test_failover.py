@@ -86,6 +86,28 @@ class TestShapeTable:
             sol = table._solutions[key]
             assert sol.pipelined.n_procs <= spec.total_processors
 
+    def test_parallel_build_matches_sequential(self, graph, state):
+        base = ClusterSpec(nodes=2, procs_per_node=2)
+        seq = ShapeTable.build(graph, state, base)
+        par = ShapeTable.build(graph, state, base, parallel=2)
+        assert list(seq) == list(par)
+        assert [s.summary() for s in seq.solutions()] == [
+            s.summary() for s in par.solutions()
+        ]
+
+    def test_cached_build_roundtrip(self, graph, state, tmp_path):
+        from repro.core.cache import ScheduleCache
+
+        base = ClusterSpec(nodes=2, procs_per_node=2)
+        cache = ScheduleCache(tmp_path / "shapes")
+        first = ShapeTable.build(graph, state, base, cache=cache)
+        assert cache.stats.stores == len(first)
+        second = ShapeTable.build(graph, state, base, cache=cache)
+        assert cache.stats.hits == len(first)
+        assert [s.summary() for s in first.solutions()] == [
+            s.summary() for s in second.solutions()
+        ]
+
 
 class TestFailoverController:
     def make(self, graph, state, policy):
