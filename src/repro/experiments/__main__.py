@@ -7,6 +7,7 @@
     python -m repro.experiments regime
     python -m repro.experiments ablations
     python -m repro.experiments faults
+    python -m repro.experiments obs
     python -m repro.experiments all
     python -m repro.experiments all --output results.txt
 """
@@ -26,7 +27,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "figure3", "figure4", "figure5", "regime",
-                 "ablations", "frontier", "faults", "all"],
+                 "ablations", "frontier", "faults", "obs", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -53,6 +54,7 @@ def main(argv: list[str] | None = None) -> int:
         "ablations": _ablations,
         "frontier": _frontier,
         "faults": _faults,
+        "obs": _obs,
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     chunks: list[str] = []
@@ -117,6 +119,16 @@ def _faults(quick: bool, workers: int | None = None) -> str:
     rates = (0.0, 0.08) if quick else (0.0, 0.02, 0.08)
     return run_faults(
         rates=rates, iterations=20 if quick else 40, workers=workers
+    ).render()
+
+
+def _obs(quick: bool, workers: int | None = None) -> str:
+    from repro.experiments.obs_exp import run_obs
+
+    return run_obs(
+        iterations=12 if quick else 24,
+        workers=workers,
+        overhead_frames=16 if quick else 32,
     ).render()
 
 

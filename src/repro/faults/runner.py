@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import (
     FaultTimeout,
@@ -60,6 +60,9 @@ from repro.sim.engine import SimEvent, Simulator
 from repro.sim.network import CommModel
 from repro.sim.trace import ExecSpan, TraceRecorder
 from repro.state import State
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs import Observability
 
 __all__ = ["FaultRuntime", "FaultTolerantExecutor"]
 
@@ -134,6 +137,10 @@ class FaultTolerantExecutor:
         Communication model for inter-placement delays (``None`` = free).
         When a shape table is built on demand, each degraded shape gets a
         comm model with the same tier costs rebuilt over its topology.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle: failure
+        detections, failover transitions (with their stall window),
+        executed placements and STM item traffic are reported live.
     """
 
     def __init__(
@@ -143,12 +150,14 @@ class FaultTolerantExecutor:
         cluster: ClusterSpec,
         faults: FaultRuntime,
         comm: Optional[CommModel] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         graph.validate()
         self.graph = graph
         self.state = state
         self.cluster = cluster
         self.faults = faults
+        self.obs = obs
         self.comm = comm or CommModel.free(cluster)
         if faults.table is not None:
             self.table = faults.table
@@ -171,9 +180,13 @@ class FaultTolerantExecutor:
         """Execute ``iterations`` timestamps through crashes and failovers."""
         if iterations < 1:
             raise ReproError(f"iterations must be >= 1, got {iterations}")
+        obs = self.obs
+        if obs is not None:
+            from repro.obs.calibrate import node_class_of
+
         sim = Simulator()
         trace = TraceRecorder()
-        hubs = build_hubs(sim, self.graph, trace)
+        hubs = build_hubs(sim, self.graph, trace, obs=obs)
 
         view = ClusterView(sim, self.cluster)
         injector = FaultInjector(sim, view, self.faults.plan)
@@ -184,6 +197,8 @@ class FaultTolerantExecutor:
             timeout=self.faults.detect_timeout,
         )
         controller = FailoverController(self.table, view, self.faults.policy)
+        if obs is not None:
+            obs.on_period(controller.active.period)
 
         replay_q: deque[int] = deque()
         frames: dict[int, _Frame] = {}
@@ -209,6 +224,8 @@ class FaultTolerantExecutor:
         # accounted analytically: immediate abandons them, checkpoint
         # re-queues their timestamps for replay.
         def on_detection(det: Detection) -> None:
+            if obs is not None:
+                obs.on_detection(det.time, det.kind, detail=f"node={det.node}")
             try:
                 record = controller.on_detection(det)
             except ShapeUnschedulable:
@@ -218,6 +235,13 @@ class FaultTolerantExecutor:
                 return
             if record is None:
                 return
+            if obs is not None:
+                obs.on_failover(
+                    record.time,
+                    controller.resume_at,
+                    detail=f"{det.kind}:{det.node}",
+                )
+                obs.on_period(controller.active.period)
             effect = record.effect
             if effect.lost_iterations > 0 or effect.replayed_iterations > 0:
                 for frame in list(frames.values()):
@@ -261,6 +285,10 @@ class FaultTolerantExecutor:
                     completion[frame.ts] = max(
                         sink_done[s][frame.ts] for s in sink_names
                     )
+                    if obs is not None and frame.ts in digitize_times:
+                        obs.on_frame(
+                            frame.ts, completion[frame.ts] - digitize_times[frame.ts]
+                        )
             # A checkpoint replay may have re-registered this timestamp
             # while the first attempt was still unwinding.
             if frames.get(frame.ts) is frame:
@@ -312,6 +340,16 @@ class FaultTolerantExecutor:
                 end = sim.now
                 for p in phys:
                     trace.record_span(ExecSpan(p, pl.task, ts, start, end))
+                if obs is not None:
+                    obs.on_exec(
+                        pl.task,
+                        start,
+                        end,
+                        proc=phys[0],
+                        variant=pl.variant,
+                        timestamp=ts,
+                        node_class=node_class_of(self.cluster, phys[0]),
+                    )
                 for ch in task.outputs:
                     hub = hubs[ch]
                     if not hub.stm.holds(ts):  # replays reuse surviving items

@@ -1,0 +1,152 @@
+"""Exporters for :class:`~repro.obs.tracing.Span` streams.
+
+Two formats:
+
+* **JSONL** — one JSON object per span, written the moment the span is
+  recorded (:class:`JsonlSpanSink` plugs into ``SpanTracer(sink=...)``).
+  Memory use is O(1): spans go straight to the file handle.
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto event-array
+  format, built from whatever spans the ring buffer still holds
+  (:func:`chrome_trace_events` / :func:`write_chrome_trace`).  Tracks are
+  named rows; instants render as markers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Union
+
+from repro.obs.tracing import Span, SpanTracer
+
+__all__ = [
+    "JsonlSpanSink",
+    "read_jsonl_spans",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]
+
+
+class JsonlSpanSink:
+    """Streaming JSONL exporter: each recorded span becomes one line.
+
+    Accepts a path (opened for append) or an open text handle.  Use as
+    ``SpanTracer(sink=JsonlSpanSink(path))``; call :meth:`close` (or use
+    as a context manager) to flush and release the file.
+    """
+
+    def __init__(self, target: Union[str, IO[str]], flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self._owns = isinstance(target, str)
+        self._fh: IO[str] = open(target, "a") if isinstance(target, str) else target
+        self._flush_every = flush_every
+        self.written = 0
+
+    def __call__(self, span: Span) -> None:
+        self._fh.write(json.dumps(span.to_dict()) + "\n")
+        self.written += 1
+        if self.written % self._flush_every == 0:
+            self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSpanSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl_spans(fh: Union[str, IO[str]]) -> list[Span]:
+    """Load spans back from a JSONL file (inverse of :class:`JsonlSpanSink`)."""
+    own = isinstance(fh, str)
+    handle: IO[str] = open(fh) if isinstance(fh, str) else fh
+    try:
+        spans = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            spans.append(
+                Span(
+                    name=d["name"],
+                    cat=d["cat"],
+                    start=d["start"],
+                    end=d["end"],
+                    track=d.get("track", "0"),
+                    timestamp=d.get("timestamp", -1),
+                    args=d.get("args", {}),
+                )
+            )
+        return spans
+    finally:
+        if own:
+            handle.close()
+
+
+def chrome_trace_events(
+    spans: Union[Iterable[Span], SpanTracer],
+    time_scale: float = 1_000_000.0,
+    pid: int = 0,
+    process_name: str = "obs",
+) -> list[dict]:
+    """Convert spans to Chrome tracing events (one named row per track).
+
+    Durations become complete (``"X"``) events, instants become ``"i"``
+    markers; rows are ordered by first appearance.  Serialize with
+    ``json.dump({"traceEvents": events}, fh)``.
+    """
+    if isinstance(spans, SpanTracer):
+        spans = spans.spans()
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": process_name}}
+    ]
+    tids: dict[str, int] = {}
+    body: list[dict] = []
+    for s in spans:
+        tid = tids.get(s.track)
+        if tid is None:
+            tid = len(tids)
+            tids[s.track] = tid
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                 "args": {"name": s.track}}
+            )
+        args = dict(s.args)
+        if s.timestamp >= 0:
+            args["timestamp"] = s.timestamp
+        if s.is_instant:
+            body.append(
+                {"ph": "i", "name": s.name, "cat": s.cat, "pid": pid, "tid": tid,
+                 "ts": s.start * time_scale, "s": "t", "args": args}
+            )
+        else:
+            body.append(
+                {"ph": "X", "name": s.name, "cat": s.cat, "pid": pid, "tid": tid,
+                 "ts": s.start * time_scale, "dur": s.duration * time_scale,
+                 "args": args}
+            )
+    return events + body
+
+
+def write_chrome_trace(
+    spans: Union[Iterable[Span], SpanTracer],
+    target: Union[str, IO[str]],
+    time_scale: float = 1_000_000.0,
+    process_name: str = "obs",
+) -> int:
+    """Write spans as a Chrome trace JSON file; returns the event count."""
+    events = chrome_trace_events(spans, time_scale=time_scale, process_name=process_name)
+    own = isinstance(target, str)
+    fh: Optional[IO[str]] = open(target, "w") if isinstance(target, str) else target
+    try:
+        json.dump({"traceEvents": events}, fh)
+    finally:
+        if own and fh is not None:
+            fh.close()
+    return len(events)

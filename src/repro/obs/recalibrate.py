@@ -1,0 +1,156 @@
+"""Closing the loop: drift → warm table re-build → schedule switch.
+
+§3.4 prescribes the on-line reaction to a regime change: "perform a table
+look-up to determine the new schedule for the new state; perform a
+transition to the new schedule".  Cost-model drift is a regime change in
+the *cost* dimension rather than the state dimension, so the look-up step
+becomes a re-build: the :class:`CalibrationController` re-runs the
+off-line optimizer over the state space with the calibrator's corrected
+costs — through the warm :meth:`~repro.core.table.ScheduleTable.build`
+path (``parallel`` workers, :class:`~repro.core.cache.ScheduleCache`
+reuse for any state whose solve request is unchanged) — and then switches
+to the re-built schedule under a standard
+:class:`~repro.core.transition.TransitionPolicy`, accounting the stall
+and lost work exactly like a state switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.optimal import OptimalScheduler, ScheduleSolution
+from repro.core.table import ScheduleTable
+from repro.core.transition import DrainTransition, TransitionEffect, TransitionPolicy
+from repro.obs.calibrate import CostCalibrator
+from repro.obs.drift import DriftDetected
+from repro.state import StateSpace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.core.schedule import PipelinedSchedule
+    from repro.runtime.result import ExecutionResult
+
+__all__ = ["RebuildRecord", "CalibrationController"]
+
+
+@dataclass(frozen=True)
+class RebuildRecord:
+    """One executed recalibration: drift signals, re-built table, switch cost."""
+
+    time: float
+    drifts: tuple[DriftDetected, ...]
+    scale_factors: dict
+    effect: TransitionEffect
+    old_solution: ScheduleSolution
+    new_solution: ScheduleSolution
+
+    def summary(self) -> str:
+        factors = ", ".join(
+            f"{t}x{f:.2f}" for t, f in sorted(self.scale_factors.items())
+        )
+        return (
+            f"[{self.time:.3f}s] recalibrated ({factors}): "
+            f"II {self.old_solution.period:.4g}s -> {self.new_solution.period:.4g}s, "
+            f"L {self.old_solution.latency:.4g}s -> {self.new_solution.latency:.4g}s, "
+            f"stall {self.effect.stall:.4g}s"
+        )
+
+
+@dataclass
+class CalibrationController:
+    """Watch execution results; on confirmed drift, re-build and switch.
+
+    Parameters
+    ----------
+    table:
+        The active (stale-cost) schedule table.
+    space / scheduler:
+        Inputs for re-running the off-line build with corrected costs.
+    calibrator:
+        The :class:`~repro.obs.calibrate.CostCalibrator` holding the
+        nominal cost model and accumulating observations.
+    policy:
+        Transition policy for the switch (default: drain).
+    parallel / cache:
+        Forwarded to :meth:`ScheduleTable.build` — the PR-2 warm path.
+    min_rel_change:
+        Scale-factor dead band below which a task's cost is left alone.
+    """
+
+    table: ScheduleTable
+    space: StateSpace
+    scheduler: OptimalScheduler
+    calibrator: CostCalibrator
+    policy: TransitionPolicy = field(default_factory=DrainTransition)
+    parallel: Optional[int] = None
+    cache: object = None
+    min_rel_change: float = 0.05
+    records: list[RebuildRecord] = field(default_factory=list)
+    total_stall: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.active: ScheduleSolution = self.table.lookup(self.calibrator.state)
+
+    def process(
+        self,
+        result: "ExecutionResult",
+        time: float = 0.0,
+        schedule: Optional["PipelinedSchedule"] = None,
+    ) -> Optional[RebuildRecord]:
+        """Ingest a run's trace; recalibrate iff it confirms new drift."""
+        new_drifts = self.calibrator.observe_result(
+            result, schedule if schedule is not None else self.active.pipelined
+        )
+        if not new_drifts:
+            return None
+        return self.recalibrate(time, new_drifts)
+
+    def recalibrate(
+        self, time: float, drifts: tuple[DriftDetected, ...] | list[DriftDetected]
+    ) -> RebuildRecord:
+        """Re-build the table with calibrated costs and switch to it."""
+        factors = {
+            t: f
+            for t, f in self.calibrator.scale_factors().items()
+            if abs(f - 1.0) >= self.min_rel_change
+        }
+        calibrated = self.calibrator.calibrated_graph(self.min_rel_change)
+        new_table = ScheduleTable.build(
+            calibrated,
+            self.space,
+            self.scheduler,
+            parallel=self.parallel,
+            cache=self.cache,
+        )
+        old = self.active
+        new = new_table.lookup(self.calibrator.state)
+        effect = self.policy.effect(old, new)
+        self.table = new_table
+        self.active = new
+        # Re-baseline the calibrator against the corrected model: future
+        # observations are judged against the re-built costs, so the
+        # detector's disarmed keys see their error collapse and re-arm
+        # (hysteresis), keeping detection infrequent.
+        self.calibrator.graph = calibrated
+        self.calibrator._modeled_exec.clear()
+        record = RebuildRecord(
+            time=time,
+            drifts=tuple(drifts),
+            scale_factors=factors,
+            effect=effect,
+            old_solution=old,
+            new_solution=new,
+        )
+        self.records.append(record)
+        self.total_stall += effect.stall
+        return record
+
+    @property
+    def rebuild_count(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"CalibrationController(active={self.active.state}, "
+            f"rebuilds={len(self.records)}, stall={self.total_stall:g}s)"
+        )

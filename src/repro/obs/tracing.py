@@ -1,0 +1,256 @@
+"""Span-based tracing with bounded memory and streaming export.
+
+The simulator's :class:`~repro.sim.trace.TraceRecorder` is the analysis
+store — unbounded, indexed, owned by one execution.  Production telemetry
+needs the opposite trade: a :class:`SpanTracer` keeps the most recent
+spans in a fixed-size ring buffer (old spans are dropped, never the run),
+optionally streams every span to a sink as it is recorded (JSONL — see
+:mod:`repro.obs.export`), and is safe to share across threads.
+
+A :class:`Span` is deliberately close to a Chrome-trace event: a named,
+categorized ``[start, end)`` interval on a track, with a frame timestamp
+and free-form args.  Instants are spans with ``end == start``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["Span", "SpanTracer"]
+
+# Shared by every args-less span; treat as immutable (a fresh dict per
+# span would be pure allocation cost on the instrumentation hot path).
+_EMPTY_ARGS: dict = {}
+
+
+class Span:
+    """One traced interval (or instant, when ``end == start``).
+
+    ``track`` is the row the span renders on (processor index, thread
+    index, or channel name); ``timestamp`` is the stream frame involved
+    (-1 when not frame-scoped).
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: spans are
+    created on every instrumented operation, so construction cost is the
+    instrumentation overhead.  Treat instances as immutable.
+    """
+
+    __slots__ = ("name", "cat", "start", "end", "track", "timestamp", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        track: str = "0",
+        timestamp: int = -1,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end = end
+        self.track = track
+        self.timestamp = timestamp
+        self.args = args if args is not None else _EMPTY_ARGS
+
+    def _key(self) -> tuple:
+        return (self.name, self.cat, self.start, self.end, self.track,
+                self.timestamp, self.args)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Span) and self._key() == other._key()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, cat={self.cat!r}, start={self.start!r}, "
+            f"end={self.end!r}, track={self.track!r}, "
+            f"timestamp={self.timestamp!r}, args={self.args!r})"
+        )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end == self.start
+
+    def to_dict(self) -> dict:
+        """JSON-able representation (the JSONL streaming record)."""
+        out = {
+            "name": self.name,
+            "cat": self.cat,
+            "start": self.start,
+            "end": self.end,
+            "track": self.track,
+        }
+        if self.timestamp >= 0:
+            out["timestamp"] = self.timestamp
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+
+class SpanTracer:
+    """Bounded, thread-safe span collector with optional streaming sink.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size; once full, recording span N+1 silently evicts
+        the oldest (``dropped`` counts evictions).
+    sink:
+        Optional callable invoked with each :class:`Span` as it is
+        recorded — the streaming export hook (see
+        :class:`~repro.obs.export.JsonlSpanSink`).  Sink errors propagate:
+        a broken exporter should fail the run loudly, not rot silently.
+    clock:
+        Time source for :meth:`span` and :meth:`instant_now`; defaults to
+        ``time.perf_counter`` (live runtime).  Simulation code passes
+        explicit times instead.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        sink: Optional[Callable[[Span], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._sink = sink
+        if clock is None:
+            import time as _time
+
+            clock = _time.perf_counter
+        self.clock = clock
+        self.recorded = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, span: Span) -> None:
+        """Append one span (evicting the oldest when full) and stream it.
+
+        Lock-free on purpose: ``deque.append`` with a ``maxlen`` is a
+        single atomic operation under the GIL, and every runtime thread
+        funnels through this method — a shared lock here convoys them.
+        ``recorded`` may undercount by a few under concurrent recording;
+        the buffer itself never loses a span to a race.
+        """
+        self._buf.append(span)
+        self.recorded += 1
+        if self._sink is not None:
+            self._sink(span)
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        track: Any = "0",
+        timestamp: int = -1,
+        **args: Any,
+    ) -> Span:
+        """Record a finished ``[start, end)`` span."""
+        span = Span(name, cat, start, end, track=str(track), timestamp=timestamp, args=args)
+        self.record(span)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        time: float,
+        track: Any = "0",
+        timestamp: int = -1,
+        **args: Any,
+    ) -> Span:
+        """Record a zero-duration marker at ``time``."""
+        return self.complete(name, cat, time, time, track=track, timestamp=timestamp, **args)
+
+    def span(self, name: str, cat: str = "span", track: Any = "0",
+             timestamp: int = -1, **args: Any) -> "_SpanContext":
+        """Context manager timing its body with the tracer's clock.
+
+        >>> tracer = SpanTracer(clock=iter([1.0, 3.5]).__next__)
+        >>> with tracer.span("work", cat="test"):
+        ...     pass
+        >>> tracer.spans()[0].duration
+        2.5
+        """
+        return _SpanContext(self, name, cat, str(track), timestamp, args)
+
+    # -- reading -------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Current ring-buffer contents, oldest first."""
+        with self._lock:
+            return list(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the ring buffer so far."""
+        with self._lock:
+            return max(0, self.recorded - len(self._buf))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buf)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+    def clear(self) -> None:
+        """Drop buffered spans (counters keep running)."""
+        with self._lock:
+            self._buf.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracer({len(self)}/{self.capacity} buffered, "
+            f"{self.recorded} recorded, {self.dropped} dropped)"
+        )
+
+
+class _SpanContext:
+    """Helper for :meth:`SpanTracer.span`; records on clean or raising exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_track", "_timestamp", "_args", "_start")
+
+    def __init__(self, tracer: SpanTracer, name: str, cat: str, track: str,
+                 timestamp: int, args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._track = track
+        self._timestamp = timestamp
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._start = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        args = dict(self._args)
+        if exc_type is not None:
+            args["error"] = exc_type.__name__
+        self._tracer.record(
+            Span(
+                self._name,
+                self._cat,
+                self._start,
+                self._tracer.clock(),
+                track=self._track,
+                timestamp=self._timestamp,
+                args=args,
+            )
+        )

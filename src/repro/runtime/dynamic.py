@@ -38,6 +38,7 @@ from repro.stm.connection import Connection
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
     from repro.faults.events import FaultPlan
+    from repro.obs import Observability
 
 __all__ = ["DynamicExecutor"]
 
@@ -65,6 +66,12 @@ class DynamicExecutor:
         subsystem: the on-line model merely *survives* failures — it has
         no shape table to fail over to, so throughput degrades however the
         quantum lottery lands (§3.2 vs §3.4).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  Quantum spans
+        are traced as-is (with their ``preempted`` flag) but excluded from
+        cost calibration — a quantum is a slice of a cost, not a cost;
+        instead the *aggregated* busy time of each completed (task,
+        timestamp) feeds the calibrator.
     """
 
     def __init__(
@@ -76,6 +83,7 @@ class DynamicExecutor:
         input_policy: str = "latest",
         capacity_override: Optional[dict[str, Optional[int]]] = None,
         faults: Optional["FaultPlan"] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         if input_policy not in ("latest", "inorder"):
             raise ReproError(f"unknown input policy {input_policy!r}")
@@ -87,6 +95,7 @@ class DynamicExecutor:
         self.input_policy = input_policy
         self.capacity_override = capacity_override
         self.faults = faults
+        self.obs = obs
         self._speed = {p.index: p.speed for p in cluster.processors}
         self._view = None
         self._fault_preemptions = 0
@@ -103,7 +112,7 @@ class DynamicExecutor:
             raise ReproError(f"horizon must be positive, got {horizon}")
         sim = Simulator()
         trace = TraceRecorder()
-        hubs = build_hubs(sim, self.graph, trace, self.capacity_override)
+        hubs = build_hubs(sim, self.graph, trace, self.capacity_override, obs=self.obs)
         injector = None
         self._view = None
         self._fault_preemptions = 0
@@ -182,6 +191,10 @@ class DynamicExecutor:
             common = set.intersection(*(set(d) for d in sink_done.values()))
             for ts in common:
                 completion[ts] = max(d[ts] for d in sink_done.values())
+        if self.obs is not None:
+            for ts in sorted(completion):
+                if ts in digitize_times:
+                    self.obs.on_frame(ts, completion[ts] - digitize_times[ts])
 
         gc_total = sum(h.gc_stats.collected for h in hubs.values())
         high_water = sum(h.gc_stats.high_water_items for h in hubs.values())
@@ -211,6 +224,8 @@ class DynamicExecutor:
         """Run ``nominal`` seconds of work in scheduler quanta (generator)."""
         remaining = nominal
         view = self._view
+        obs = self.obs
+        busy = 0.0
         while True:
             proc = yield self.scheduler.acquire(name, priority=float(ts))
             speed = view.speed(proc) if view is not None else self._speed[proc]
@@ -228,16 +243,29 @@ class DynamicExecutor:
                         trace.record_span(
                             ExecSpan(proc, name, ts, start, sim.now, preempted=True)
                         )
+                        if obs is not None:
+                            obs.on_exec(
+                                name, start, sim.now, proc=proc, timestamp=ts,
+                                preempted=True, calibrate=False,
+                            )
                         self._fault_preemptions += 1
                         self.scheduler.invalidate(name, proc)
                         continue
                 else:
                     yield sim.timeout(slice_time)
             remaining -= slice_time * speed
+            busy += slice_time
             done = remaining <= 1e-12
             trace.record_span(
                 ExecSpan(proc, name, ts, start, sim.now, preempted=not done)
             )
+            if obs is not None:
+                obs.on_exec(
+                    name, start, sim.now, proc=proc, timestamp=ts,
+                    preempted=not done, calibrate=False,
+                )
+                if done:
+                    obs.on_cost_sample(name, "serial", busy, time=sim.now)
             if not done and hasattr(self.scheduler, "preemptions"):
                 self.scheduler.preemptions += 1
             self.scheduler.release(name, proc)

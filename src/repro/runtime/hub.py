@@ -15,7 +15,7 @@ A :class:`ChannelHub` couples one synchronous
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.graph.taskgraph import TaskGraph
 from repro.sim.engine import SimEvent, Simulator
@@ -24,21 +24,31 @@ from repro.stm.channel import STMChannel, Timestamp
 from repro.stm.connection import Connection
 from repro.stm.gc import GCStats, collect_channel
 
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs import Observability
+
 __all__ = ["ChannelHub", "build_hubs"]
 
 
 class ChannelHub:
-    """One STM channel bound to the simulator and the trace."""
+    """One STM channel bound to the simulator and the trace.
+
+    ``obs`` is an optional :class:`~repro.obs.Observability` bundle;
+    every mutation then also lands in the live metrics/tracing layer
+    (item counters by kind, instant spans on the channel's track).
+    """
 
     def __init__(
         self,
         sim: Simulator,
         channel: STMChannel,
         trace: Optional[TraceRecorder] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.sim = sim
         self.stm = channel
         self.trace = trace
+        self.obs = obs
         self.gc_stats = GCStats()
         self._changed: SimEvent = sim.event(f"{channel.name}-changed")
 
@@ -70,20 +80,30 @@ class ChannelHub:
             self.trace.record_item(
                 ItemEvent(self.sim.now, self.name, "put", ts, task=conn.task)
             )
+        if self.obs is not None:
+            self.obs.on_item(self.sim.now, self.name, "put", ts, task=conn.task)
         self._notify()
 
     def try_get(self, conn: Connection, ts: Timestamp) -> Optional[tuple[int, Any]]:
-        """Non-blocking get; records the access in the trace on a hit."""
-        from repro.errors import ItemUnavailable
+        """Non-blocking get; records the access in the trace on a hit.
+
+        An item this connection already consumed counts as a miss: under a
+        saturated schedule frames can complete out of order, so a drain
+        consuming ts may declare earlier, still-in-flight timestamps dead
+        (they arrive "born consumed") — that is skipping, not an error.
+        """
+        from repro.errors import ItemConsumed, ItemUnavailable
 
         try:
             got_ts, value = self.stm.get(conn, ts)
-        except ItemUnavailable:
+        except (ItemConsumed, ItemUnavailable):
             return None
         if self.trace is not None:
             self.trace.record_item(
                 ItemEvent(self.sim.now, self.name, "get", got_ts, task=conn.task)
             )
+        if self.obs is not None:
+            self.obs.on_item(self.sim.now, self.name, "get", got_ts, task=conn.task)
         return got_ts, value
 
     def consume(self, conn: Connection, ts: int) -> int:
@@ -93,6 +113,8 @@ class ChannelHub:
             self.trace.record_item(
                 ItemEvent(self.sim.now, self.name, "consume", ts, task=conn.task)
             )
+        if self.obs is not None:
+            self.obs.on_item(self.sim.now, self.name, "consume", ts, task=conn.task)
         collected = collect_channel(self.stm, self.gc_stats)
         self._notify()
         return collected
@@ -112,6 +134,7 @@ def build_hubs(
     graph: TaskGraph,
     trace: Optional[TraceRecorder] = None,
     capacity_override: Optional[dict[str, Optional[int]]] = None,
+    obs: Optional["Observability"] = None,
 ) -> dict[str, ChannelHub]:
     """Instantiate a hub for every channel a graph declares.
 
@@ -122,5 +145,7 @@ def build_hubs(
     overrides = capacity_override or {}
     for spec in graph.channels:
         cap = overrides.get(spec.name, spec.capacity)
-        hubs[spec.name] = ChannelHub(sim, STMChannel(spec.name, capacity=cap), trace)
+        hubs[spec.name] = ChannelHub(
+            sim, STMChannel(spec.name, capacity=cap), trace, obs=obs
+        )
     return hubs

@@ -38,6 +38,7 @@ from repro.state import State
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
     from repro.faults.runner import FaultRuntime
+    from repro.obs import Observability
 
 __all__ = ["StaticExecutor"]
 
@@ -71,6 +72,12 @@ class StaticExecutor:
         reachable degraded cluster shape, and failures become regime
         changes selecting among them (§3.4).  Incompatible with
         ``contended``.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  When set,
+        every placement execution, inter-placement transfer, slip and
+        completed frame is reported to the live metrics/tracing layer —
+        and, if the bundle carries a calibrator, feeds cost-model drift
+        detection.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class StaticExecutor:
         comm: Optional[CommModel] = None,
         contended: bool = False,
         faults: Optional["FaultRuntime"] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         graph.validate()
         if faults is not None and contended:
@@ -102,6 +110,7 @@ class StaticExecutor:
         self.comm = comm or CommModel.free(cluster)
         self.contended = contended
         self.faults = faults
+        self.obs = obs
 
     def run(self, iterations: int) -> ExecutionResult:
         """Execute ``iterations`` timestamps and drain."""
@@ -111,11 +120,17 @@ class StaticExecutor:
             from repro.faults.runner import FaultTolerantExecutor
 
             return FaultTolerantExecutor(
-                self.graph, self.state, self.cluster, self.faults, comm=self.comm
+                self.graph, self.state, self.cluster, self.faults, comm=self.comm,
+                obs=self.obs,
             ).run(iterations)
+        obs = self.obs
+        if obs is not None:
+            from repro.obs.calibrate import node_class_of, tier_name
+
+            obs.on_period(self.schedule.period)
         sim = Simulator()
         trace = TraceRecorder()
-        hubs = build_hubs(sim, self.graph, trace)
+        hubs = build_hubs(sim, self.graph, trace, obs=obs)
         fabric = None
         if self.contended:
             from repro.sim.fabric import LinkFabric
@@ -172,6 +187,13 @@ class StaticExecutor:
         base_placements = {
             pl.task: pl for pl in self.schedule.iteration.placements
         }
+        edge_channels = {
+            (p, t.name): "+".join(
+                ch.name for ch in self.graph.channels_between(p, t.name)
+            )
+            for t in self.graph.tasks
+            for p in preds[t.name]
+        }
 
         def run_placement(k: int, pl: Placement):
             # ``pl`` comes from instantiate(k): start is absolute, procs are
@@ -190,6 +212,15 @@ class StaticExecutor:
                     delay = self.comm.transfer_time(
                         edge_bytes[(pred, pl.task)], src_primary, pl.procs[0]
                     )
+                    if obs is not None and delay > 0:
+                        obs.on_comm(
+                            edge_channels[(pred, pl.task)],
+                            tier_name(self.cluster, src_primary, pl.procs[0]),
+                            pred_end,
+                            delay,
+                            nbytes=edge_bytes[(pred, pl.task)],
+                            timestamp=k,
+                        )
                     ready = max(ready, pred_end + delay)
                 if sim.now < ready:
                     yield sim.timeout(ready - sim.now)
@@ -215,11 +246,23 @@ class StaticExecutor:
             if start > scheduled_start + _EPS:
                 slips[0] += 1
                 max_slip[0] = max(max_slip[0], start - scheduled_start)
+                if obs is not None:
+                    obs.on_slip(pl.task, start, start - scheduled_start, timestamp=k)
             if pl.duration > 0:
                 yield sim.timeout(pl.duration)
             end = sim.now
             for proc in pl.procs:
                 trace.record_span(ExecSpan(proc, pl.task, k, start, end))
+            if obs is not None:
+                obs.on_exec(
+                    pl.task,
+                    start,
+                    end,
+                    proc=pl.procs[0],
+                    variant=pl.variant,
+                    timestamp=k,
+                    node_class=node_class_of(self.cluster, pl.procs[0]),
+                )
             for proc, grant in grants:
                 procs[proc].release(grant)
             task = self.graph.task(pl.task)
@@ -252,6 +295,10 @@ class StaticExecutor:
             common = set.intersection(*(set(d) for d in sink_done.values()))
             for ts in common:
                 completion[ts] = max(d[ts] for d in sink_done.values())
+        if obs is not None:
+            for ts in sorted(completion):
+                if ts in digitize_times:
+                    obs.on_frame(ts, completion[ts] - digitize_times[ts])
         gc_total = sum(h.gc_stats.collected for h in hubs.values())
         high_water = sum(h.gc_stats.high_water_items for h in hubs.values())
         return ExecutionResult(

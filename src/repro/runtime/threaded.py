@@ -18,12 +18,15 @@ from __future__ import annotations
 import threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import ReproError
 from repro.graph.taskgraph import TaskGraph
 from repro.state import State
 from repro.stm.threaded import ChannelPoisoned, ThreadedChannel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs import Observability
 
 __all__ = ["ThreadedResult", "ThreadedRuntime"]
 
@@ -63,6 +66,12 @@ class ThreadedRuntime:
     op_timeout:
         Per-operation blocking timeout in seconds (keeps tests from
         hanging on bugs).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  Kernel
+        invocations become wall-clock spans (one per (task, timestamp))
+        and channel traffic is counted; this is the live-measurement path
+        behind kernel calibration, so the hooks are deliberately thin —
+        the ``obs`` experiment reports the measured overhead.
     """
 
     def __init__(
@@ -71,12 +80,14 @@ class ThreadedRuntime:
         state: State,
         static_inputs: Optional[dict[str, Any]] = None,
         op_timeout: float = 60.0,
+        obs: Optional["Observability"] = None,
     ) -> None:
         graph.validate()
         self.graph = graph
         self.state = state
         self.static_inputs = dict(static_inputs or {})
         self.op_timeout = op_timeout
+        self.obs = obs
         for spec in graph.channels:
             if spec.static and spec.name not in self.static_inputs:
                 raise ReproError(
@@ -91,10 +102,12 @@ class ThreadedRuntime:
         """
         if timestamps < 1:
             raise ReproError(f"timestamps must be >= 1, got {timestamps}")
+        obs = self.obs
         channels: dict[str, ThreadedChannel] = {
-            spec.name: ThreadedChannel(spec.name, capacity=spec.capacity)
+            spec.name: ThreadedChannel(spec.name, capacity=spec.capacity, obs=obs)
             for spec in self.graph.channels
         }
+        task_index = {t.name: i for i, t in enumerate(self.graph.tasks)}
         # Static configuration channels are filled before any thread starts.
         for name, value in self.static_inputs.items():
             conn = channels[name].attach_output("-env-")
@@ -148,7 +161,13 @@ class ThreadedRuntime:
                         _, value = channels[ch].get(ins[ch], ts, timeout=self.op_timeout)
                         inputs[ch] = value
                     if task.compute is not None:
+                        k0 = _time.perf_counter() if obs is not None else 0.0
                         result = task.compute(self.state, inputs)
+                        if obs is not None:
+                            obs.on_exec(
+                                task.name, k0, _time.perf_counter(),
+                                proc=task_index[task.name], timestamp=ts,
+                            )
                         if not isinstance(result, dict):
                             raise ReproError(
                                 f"kernel of {task.name!r} returned "

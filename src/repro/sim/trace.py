@@ -188,10 +188,13 @@ class TraceRecorder:
         Spans become complete (``"X"``) duration events on one row per
         processor (pid 0, tid = processor index); item events become
         instants (``"i"``) on per-channel rows under pid 1; processor and
-        channel rows get ``"M"`` metadata names.  Simulated seconds are
-        scaled by ``time_scale`` into the format's microseconds, so one
-        simulated second reads as one second in the viewer by default.
-        Serialize with ``json.dump({"traceEvents": events}, fh)``.
+        channel rows get ``"M"`` metadata names.  Each get additionally
+        emits a flow-event pair (``"s"`` at the item's put, ``"f"`` at the
+        get, one flow id per get) so put→get causality renders as arrows
+        in the trace viewer.  Simulated seconds are scaled by
+        ``time_scale`` into the format's microseconds, so one simulated
+        second reads as one second in the viewer by default.  Serialize
+        with ``json.dump({"traceEvents": events}, fh)``.
         """
         events: list[dict] = []
         events.append(
@@ -245,6 +248,36 @@ class TraceRecorder:
                         "s": "t",
                         "args": {"task": e.task, "timestamp": e.timestamp},
                     }
+                )
+            # Flow arrows: every get points back at the put that produced
+            # its item.  Each get carries its own flow id (a fan-out of N
+            # consumers is N arrows from one put).
+            puts: dict[tuple[str, int], ItemEvent] = {}
+            for e in self.items:
+                if e.kind == "put":
+                    puts.setdefault((e.channel, e.timestamp), e)
+            flow_id = 0
+            for e in self.items:
+                if e.kind != "get":
+                    continue
+                put = puts.get((e.channel, e.timestamp))
+                if put is None:
+                    continue
+                flow_id += 1
+                common = {
+                    "name": f"{e.channel}@{e.timestamp}",
+                    "cat": "flow",
+                    "pid": 1,
+                    "tid": tids[e.channel],
+                    "id": flow_id,
+                }
+                events.append(
+                    {"ph": "s", "ts": put.time * time_scale,
+                     "args": {"task": put.task, "timestamp": e.timestamp}, **common}
+                )
+                events.append(
+                    {"ph": "f", "bp": "e", "ts": e.time * time_scale,
+                     "args": {"task": e.task, "timestamp": e.timestamp}, **common}
                 )
         return events
 

@@ -22,12 +22,15 @@ release the GIL inside NumPy) end to end.
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import ItemUnavailable, STMError
 from repro.stm.channel import STMChannel, Timestamp
 from repro.stm.connection import Connection
 from repro.stm.gc import GCStats, collect_channel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs import Observability
 
 __all__ = ["ChannelPoisoned", "ThreadedChannel"]
 
@@ -41,14 +44,30 @@ class ThreadedChannel:
 
     All methods are thread-safe.  The wrapped synchronous channel is not
     exposed for mutation; inspection helpers proxy through the lock.
+
+    ``obs`` optionally reports every put/get/consume to a (thread-safe)
+    :class:`~repro.obs.Observability` bundle, stamped with its wall
+    clock; the call happens *outside* the channel lock so telemetry never
+    extends the critical section.
     """
 
-    def __init__(self, name: str, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        capacity: Optional[int] = None,
+        obs: Optional["Observability"] = None,
+    ) -> None:
         self._chan = STMChannel(name, capacity=capacity)
         self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
         self._poisoned = False
+        self._obs = obs
         self.gc_stats = GCStats()
+
+    def _observe(self, kind: str, ts: int, task: str) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.on_item(obs.tracer.clock(), self.name, kind, ts, task=task)
 
     @property
     def name(self) -> str:
@@ -87,11 +106,12 @@ class ThreadedChannel:
                 if not self._chan.is_full:
                     self._chan.put(conn, ts, value, size=size)
                     self._changed.notify_all()
-                    return
+                    break
                 if not self._changed.wait(timeout):
                     raise TimeoutError(
                         f"put to {self.name!r} timed out after {timeout}s (full)"
                     )
+        self._observe("put", ts, conn.task)
 
     def get(
         self,
@@ -105,12 +125,15 @@ class ThreadedChannel:
                 if self._poisoned:
                     raise ChannelPoisoned(f"channel {self.name!r} poisoned")
                 try:
-                    return self._chan.get(conn, ts)
+                    got = self._chan.get(conn, ts)
+                    break
                 except ItemUnavailable:
                     if not self._changed.wait(timeout):
                         raise TimeoutError(
                             f"get from {self.name!r} timed out after {timeout}s"
                         ) from None
+        self._observe("get", got[0], conn.task)
+        return got
 
     def try_get(self, conn: Connection, ts: Timestamp) -> Optional[tuple[int, Any]]:
         """Non-blocking get: None on a miss."""
@@ -126,6 +149,7 @@ class ThreadedChannel:
             self._chan.consume(conn, ts)
             collect_channel(self._chan, self.gc_stats)
             self._changed.notify_all()
+        self._observe("consume", ts, conn.task)
 
     def poison(self) -> None:
         """Wake every blocked thread with :class:`ChannelPoisoned`."""

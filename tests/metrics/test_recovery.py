@@ -1,0 +1,92 @@
+"""Unit tests for recovery metrics, including degenerate runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.recovery import recovery_stats
+
+
+def make(**kw):
+    defaults = dict(
+        completions=[1.0, 2.0, 3.0],
+        period=1.0,
+        horizon=10.0,
+        crash_times=[],
+        detection_latencies=[],
+        frames_lost_crash=0,
+        frames_lost_transition=0,
+    )
+    defaults.update(kw)
+    return recovery_stats(**defaults)
+
+
+class TestHealthyRun:
+    def test_no_crashes_all_zeros(self):
+        s = make()
+        assert s.crashes == 0
+        assert s.detection_latency_mean == 0.0
+        assert s.recovery_time_mean == 0.0
+        assert s.frames_lost == 0
+        assert s.availability == 1.0
+        assert "crashes=0" in s.summary()
+
+    def test_regular_stream_no_downtime(self):
+        s = make(completions=[i * 1.0 for i in range(10)])
+        assert s.downtime == 0.0
+        assert s.availability == 1.0
+
+
+class TestFaultyRun:
+    def test_gap_beyond_slack_counts_downtime(self):
+        # 1s cadence, one 4s silence: 4 - 1 = 3s of downtime
+        s = make(completions=[1.0, 2.0, 6.0, 7.0], horizon=10.0)
+        assert s.downtime == pytest.approx(3.0)
+        assert s.availability == pytest.approx(0.7)
+
+    def test_recovery_time_first_completion_after_crash(self):
+        s = make(
+            completions=[1.0, 2.0, 6.0],
+            crash_times=[2.5],
+            detection_latencies=[0.4],
+        )
+        assert s.recovery_time_mean == pytest.approx(3.5)
+        assert s.detection_latency_mean == pytest.approx(0.4)
+
+    def test_crash_with_no_later_completion_runs_to_horizon(self):
+        s = make(completions=[1.0], crash_times=[4.0], horizon=10.0)
+        assert s.recovery_time_mean == pytest.approx(6.0)
+
+    def test_frames_lost_splits_by_cause(self):
+        s = make(frames_lost_crash=3, frames_lost_transition=2)
+        assert s.frames_lost == 5
+        assert "crash 3 / transition 2" in s.summary()
+
+
+class TestDegenerateInputs:
+    def test_empty_completions(self):
+        s = make(completions=[], crash_times=[2.0], horizon=10.0)
+        assert s.downtime == 0.0
+        assert s.availability == 1.0
+        assert s.recovery_time_mean == pytest.approx(8.0)
+
+    def test_single_completion_no_gaps(self):
+        s = make(completions=[5.0])
+        assert s.downtime == 0.0
+        assert s.availability == 1.0
+
+    def test_zero_period_skips_downtime_analysis(self):
+        s = make(completions=[1.0, 9.0], period=0.0)
+        assert s.downtime == 0.0
+
+    def test_zero_horizon_keeps_full_availability(self):
+        s = make(completions=[1.0, 9.0], horizon=0.0)
+        assert s.availability == 1.0
+
+    def test_unsorted_completions_handled(self):
+        s = make(completions=[6.0, 1.0, 2.0, 7.0], horizon=10.0)
+        assert s.downtime == pytest.approx(3.0)
+
+    def test_availability_clamped_non_negative(self):
+        s = make(completions=[0.5, 9.5], period=1.0, horizon=1.0)
+        assert s.availability == 0.0

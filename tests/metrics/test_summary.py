@@ -48,6 +48,59 @@ class TestSummarize:
             assert key in text
 
 
+class TestSummarizeEdgeCases:
+    @staticmethod
+    def make_result(digitize, completion, emitted, horizon=1.0):
+        from repro.runtime.result import ExecutionResult
+        from repro.sim.trace import TraceRecorder
+
+        from repro.apps.tracker.graph import build_tracker_graph
+
+        return ExecutionResult(
+            graph=build_tracker_graph(),
+            state=State(n_models=1),
+            trace=TraceRecorder(),
+            digitize_times=digitize,
+            completion_times=completion,
+            horizon=horizon,
+            emitted=emitted,
+        )
+
+    def test_empty_trace_raises(self):
+        from repro.errors import ExperimentError
+
+        result = self.make_result({}, {}, emitted=0)
+        with pytest.raises(ExperimentError):
+            summarize(result)
+
+    def test_emitted_but_nothing_completed_raises(self):
+        from repro.errors import ExperimentError
+
+        result = self.make_result({0: 0.0, 1: 0.5}, {}, emitted=2)
+        with pytest.raises(ExperimentError):
+            summarize(result)
+
+    def test_single_timestamp_run(self):
+        result = self.make_result({0: 0.1}, {0: 0.6}, emitted=1, horizon=1.0)
+        s = summarize(result)
+        assert s.latency.count == 1
+        assert s.latency.mean == pytest.approx(0.5)
+        assert s.latency.stdev == 0.0
+        assert s.latency.spread == 0.0
+        assert s.uniformity.coverage == 1.0
+        assert s.uniformity.max_gap == 0
+        assert s.uniformity.interarrival_cv == 0.0
+        assert s.throughput == pytest.approx(1.0)  # count/horizon fallback
+        assert s.utilization == 0.0  # no spans on any processor
+        assert "over 1 frames" in s.render()
+
+    def test_warmup_never_empties_the_window(self):
+        # a huge warmup fraction must still leave at least one frame
+        result = self.make_result({0: 0.0}, {0: 0.4}, emitted=1)
+        s = summarize(result, warmup_fraction=0.9)
+        assert s.latency.count == 1
+
+
 class TestCLIOutputFile:
     def test_report_written(self, tmp_path, capsys):
         from repro.experiments.__main__ import main

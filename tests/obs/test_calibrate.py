@@ -1,0 +1,155 @@
+"""Unit tests for the cost calibrator and its calibrated-graph output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.tracker.graph import build_tracker_graph
+from repro.core.replay import variant_duration
+from repro.obs.calibrate import (
+    CostCalibrator,
+    CostStats,
+    ScaledCost,
+    graph_with_costs,
+    node_class_of,
+    tier_name,
+)
+from repro.obs.drift import DriftDetector
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+
+@pytest.fixture()
+def graph():
+    return build_tracker_graph()
+
+
+@pytest.fixture()
+def calibrator(graph):
+    return CostCalibrator(
+        graph,
+        State(n_models=2),
+        SINGLE_NODE_SMP(4),
+        detector=DriftDetector(threshold=0.25, confirm=3, min_samples=3,
+                               alpha=1.0, cooldown=0),
+    )
+
+
+class TestCostStats:
+    def test_welford_matches_reference(self):
+        s = CostStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.add(v)
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.variance == pytest.approx(5.0 / 3.0)
+        assert (s.min, s.max) == (1.0, 4.0)
+
+    def test_empty_is_safe(self):
+        s = CostStats()
+        assert s.variance == 0.0 and s.std == 0.0
+
+
+class TestScaledCost:
+    def test_scales_and_stays_state_dependent(self, graph):
+        base = graph.task("T4").cost
+        scaled = ScaledCost(base, 2.0)
+        for n in (1, 2, 4):
+            st = State(n_models=n)
+            assert scaled(st) == pytest.approx(2.0 * base(st))
+
+    def test_invalid_factor_rejected(self, graph):
+        with pytest.raises(ValueError):
+            ScaledCost(graph.task("T4").cost, 0.0)
+        with pytest.raises(ValueError):
+            ScaledCost(graph.task("T4").cost, float("inf"))
+
+
+class TestHelpers:
+    def test_node_class_of(self):
+        cluster = SINGLE_NODE_SMP(4)
+        assert node_class_of(cluster, 0) == "nominal"
+        assert node_class_of(None, 0) == "nominal"
+        assert node_class_of(cluster, 99) == "nominal"  # out of range: benign
+
+    def test_tier_name(self):
+        cluster = SINGLE_NODE_SMP(4)
+        assert tier_name(cluster, 1, 1) == "same_proc"
+        assert tier_name(cluster, 0, 1) == "intra_node"
+
+
+class TestGraphWithCosts:
+    def test_replaces_only_named_tasks(self, graph):
+        st = State(n_models=2)
+        out = graph_with_costs(
+            graph, {"T4": ScaledCost(graph.task("T4").cost, 3.0)}, name="g2"
+        )
+        assert out.name == "g2"
+        assert out.task("T4").cost(st) == pytest.approx(3.0 * graph.task("T4").cost(st))
+        assert out.task("T2").cost(st) == pytest.approx(graph.task("T2").cost(st))
+        # structure preserved
+        assert [t.name for t in out.tasks] == [t.name for t in graph.tasks]
+
+    def test_chunk_cost_scales_with_serial(self, graph):
+        st = State(n_models=2)
+        out = graph_with_costs(graph, {"T4": ScaledCost(graph.task("T4").cost, 2.0)})
+        # a data-parallel variant's duration must scale consistently
+        for variant in ("dp2", "serial"):
+            assert variant_duration(out, "T4", variant, st) == pytest.approx(
+                2.0 * variant_duration(graph, "T4", variant, st), rel=0.05
+            )
+
+
+class TestCostCalibrator:
+    def test_agreeing_observations_no_drift(self, calibrator):
+        modeled = calibrator.modeled_exec("T2", "serial")
+        for _ in range(8):
+            assert calibrator.observe_exec("T2", "serial", modeled) is None
+        assert calibrator.drifts == []
+        assert calibrator.scale_factors()["T2"] == pytest.approx(1.0)
+        assert calibrator.calibrated_costs() == {}
+
+    def test_perturbed_observations_fire_and_calibrate(self, calibrator):
+        modeled = calibrator.modeled_exec("T4", "serial")
+        fired = [
+            calibrator.observe_exec("T4", "serial", 2.0 * modeled, time=float(i))
+            for i in range(5)
+        ]
+        assert any(fired)
+        assert len(calibrator.drifts) == 1
+        factors = calibrator.scale_factors()
+        assert factors["T4"] == pytest.approx(2.0)
+        costs = calibrator.calibrated_costs()
+        assert isinstance(costs["T4"], ScaledCost)
+        calibrated = calibrator.calibrated_graph()
+        st = calibrator.state
+        assert calibrated.task("T4").cost(st) == pytest.approx(
+            2.0 * calibrator.graph.task("T4").cost(st)
+        )
+
+    def test_dead_band_leaves_small_errors_alone(self, calibrator):
+        modeled = calibrator.modeled_exec("T2", "serial")
+        for _ in range(6):
+            calibrator.observe_exec("T2", "serial", 1.02 * modeled)
+        assert calibrator.calibrated_costs(min_rel_change=0.05) == {}
+        assert "T2" in calibrator.calibrated_costs(min_rel_change=0.01)
+
+    def test_report_renders_rows_and_drifts(self, calibrator):
+        modeled = calibrator.modeled_exec("T4", "serial")
+        for i in range(5):
+            calibrator.observe_exec("T4", "serial", 2.0 * modeled, time=float(i))
+        calibrator.observe_comm("frame", "intra_node", 0.001, nbytes=1000)
+        text = calibrator.report().render()
+        assert "T4/serial/nominal" in text
+        assert "frame/intra_node" in text
+        assert "Drift signals:" in text
+
+    def test_report_no_drift_note(self, calibrator):
+        assert "No drift detected." in calibrator.report().render()
+
+    def test_zero_cost_tasks_cannot_drift(self, graph):
+        cal = CostCalibrator(graph, State(n_models=2))
+        # T1 (digitizer plumbing) has a tiny but nonzero cost; fabricate a
+        # zero-modeled case through a comm observation with no comm model.
+        assert cal.observe_comm("frame", "intra_node", 0.5) is None
+        assert cal.drifts == []

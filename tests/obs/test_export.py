@@ -1,0 +1,89 @@
+"""Unit tests for the JSONL and Chrome-trace span exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    JsonlSpanSink,
+    chrome_trace_events,
+    read_jsonl_spans,
+    write_chrome_trace,
+)
+from repro.obs.tracing import Span, SpanTracer
+
+
+def sample_spans() -> list[Span]:
+    return [
+        Span("T1", "exec", 0.0, 0.5, track="proc0", timestamp=0, args={"variant": "serial"}),
+        Span("put:frame", "stm", 0.5, 0.5, track="frame", timestamp=0),
+        Span("T2", "exec", 0.5, 1.5, track="proc1", timestamp=0),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        with JsonlSpanSink(path, flush_every=1) as sink:
+            tracer = SpanTracer(sink=sink)
+            for s in sample_spans():
+                tracer.record(s)
+        assert read_jsonl_spans(path) == sample_spans()
+
+    def test_streaming_is_o1_memory(self, tmp_path):
+        # spans evicted from the ring buffer are still on disk
+        path = str(tmp_path / "spans.jsonl")
+        with JsonlSpanSink(path, flush_every=1) as sink:
+            tracer = SpanTracer(capacity=1, sink=sink)
+            for s in sample_spans():
+                tracer.record(s)
+            assert len(tracer) == 1
+        assert len(read_jsonl_spans(path)) == 3
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "gap.jsonl"
+        path.write_text('{"name": "a", "cat": "t", "start": 0, "end": 1}\n\n')
+        (s,) = read_jsonl_spans(str(path))
+        assert s.name == "a"
+
+    def test_flush_every_validated(self):
+        with pytest.raises(ValueError):
+            JsonlSpanSink("/dev/null", flush_every=0)
+
+
+class TestChromeTrace:
+    def test_events_structure(self):
+        events = chrome_trace_events(sample_spans())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta if m["name"] == "thread_name"} == {
+            "proc0", "frame", "proc1"
+        }
+        durs = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [d["name"] for d in durs] == ["T1", "T2"]
+        assert [i["name"] for i in instants] == ["put:frame"]
+        t1 = durs[0]
+        assert t1["ts"] == 0.0 and t1["dur"] == pytest.approx(500_000.0)
+        assert t1["args"]["variant"] == "serial"
+        assert t1["args"]["timestamp"] == 0
+
+    def test_tracks_share_tids(self):
+        spans = [Span("a", "t", 0.0, 1.0, track="x"), Span("b", "t", 1.0, 2.0, track="x")]
+        events = chrome_trace_events(spans)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs[0]["tid"] == xs[1]["tid"]
+
+    def test_accepts_tracer_directly(self):
+        tr = SpanTracer()
+        tr.record(sample_spans()[0])
+        assert any(e["ph"] == "X" for e in chrome_trace_events(tr))
+
+    def test_write_chrome_trace_file_parses(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        n = write_chrome_trace(sample_spans(), path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert len(doc["traceEvents"]) == n
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])

@@ -146,3 +146,48 @@ class TestChromeTraceExport:
     def test_empty_trace_exports_minimal(self):
         events = TraceRecorder().to_chrome_trace()
         assert all(e["ph"] == "M" for e in events)
+
+
+class TestChromeFlowEvents:
+    def make_trace(self):
+        t = TraceRecorder()
+        t.record_item(ItemEvent(0.5, "frame", "put", 0, task="src"))
+        t.record_item(ItemEvent(0.8, "frame", "get", 0, task="detect"))
+        t.record_item(ItemEvent(0.9, "frame", "get", 0, task="track"))
+        t.record_item(ItemEvent(1.5, "frame", "put", 1, task="src"))
+        t.record_item(ItemEvent(1.8, "frame", "get", 1, task="detect"))
+        return t
+
+    def test_each_get_gets_a_flow_pair(self):
+        events = self.make_trace().to_chrome_trace()
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == 3 and len(ends) == 3
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+        assert all(e["cat"] == "flow" for e in starts + ends)
+
+    def test_flow_links_put_time_to_get_time(self):
+        events = self.make_trace().to_chrome_trace(time_scale=1.0)
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        for fin in (e for e in events if e["ph"] == "f"):
+            start = starts[fin["id"]]
+            assert start["ts"] <= fin["ts"]
+            assert start["name"] == fin["name"]
+            assert fin["bp"] == "e"
+        # Fan-out: ts=0 was got twice, so two arrows leave the same put time.
+        ts0 = [e for e in starts.values() if e["args"]["timestamp"] == 0]
+        assert len(ts0) == 2
+        assert {e["ts"] for e in ts0} == {0.5}
+        assert all(e["args"]["task"] == "src" for e in ts0)
+
+    def test_get_without_put_emits_no_flow(self):
+        t = TraceRecorder()
+        t.record_item(ItemEvent(0.8, "frame", "get", 0, task="detect"))
+        events = t.to_chrome_trace()
+        assert not [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_flows_serializable(self):
+        import json
+
+        events = self.make_trace().to_chrome_trace()
+        json.dumps({"traceEvents": events})
