@@ -35,7 +35,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.apps.tracker.graph import build_tracker_graph
 from repro.core.cache import ScheduleCache
 from repro.core.enumerate import enumerate_schedules
 from repro.core.optimal import OptimalScheduler

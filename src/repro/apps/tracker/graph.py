@@ -132,12 +132,16 @@ def attach_kernels(
     graph: TaskGraph,
     video: VideoSource,
     bins: int = 8,
+    t4_work_scale: int = 1,
 ) -> tuple[TaskGraph, dict]:
     """A copy of ``graph`` with live compute kernels + static inputs.
 
-    Returns ``(graph_with_kernels, static_inputs)`` ready for
-    :class:`~repro.runtime.threaded.ThreadedRuntime`: the static
-    ``color_model`` channel carries one histogram per video target.
+    Returns ``(graph_with_kernels, static_inputs)`` ready for the live
+    runtimes: the static ``color_model`` channel carries one histogram per
+    video target, and T4 additionally carries the chunk/join kernel pair
+    so data-parallel placements execute for real on the process substrate.
+    ``t4_work_scale`` scales T4's compute (identical outputs) to emulate
+    the paper's Table 1 cost on modern hardware — benchmarks only.
     """
     from repro.graph.task import Task
 
@@ -145,13 +149,18 @@ def attach_kernels(
         "T1": kernels.make_digitizer_kernel(video),
         "T2": kernels.make_change_detection_kernel(),
         "T3": kernels.make_histogram_kernel(bins),
-        "T4": kernels.make_target_detection_kernel(bins),
+        "T4": kernels.make_target_detection_kernel(bins, t4_work_scale),
         "T5": kernels.make_peak_detection_kernel(),
     }
+    t4_chunk, t4_join = kernels.make_target_detection_chunk_kernels(
+        bins, t4_work_scale
+    )
+    chunked = {"T4": (t4_chunk, t4_join)}
     out = TaskGraph(f"{graph.name}/live")
     for ch in graph.channels:
         out.add_channel(ch)
     for t in graph.tasks:
+        chunk_fn, join_fn = chunked.get(t.name, (t.compute_chunk, t.compute_join))
         out.add_task(
             Task(
                 t.name,
@@ -161,6 +170,8 @@ def attach_kernels(
                 data_parallel=t.data_parallel,
                 period=t.period,
                 compute=computes.get(t.name, t.compute),
+                compute_chunk=chunk_fn,
+                compute_join=join_fn,
             )
         )
     out.validate()

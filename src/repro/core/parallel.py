@@ -176,6 +176,7 @@ def solve_many(
     requests: Sequence[SolveRequest],
     workers: Optional[int] = None,
     return_exceptions: bool = False,
+    start_method: Optional[str] = None,
 ) -> list:
     """Execute a batch of solve requests, results in request order.
 
@@ -197,6 +198,12 @@ def solve_many(
         :class:`~repro.faults.failover.ShapeTable` filter those out.
         Non-domain failures (a broken pool, an unpicklable payload) are
         never returned; they trigger the in-process fallback.
+    start_method:
+        Multiprocessing start method for the pool.  ``None`` keeps the
+        historical default (``fork``, falling back in-process where the
+        platform lacks it); ``"spawn"`` works because every
+        :class:`SolveRequest` is pure picklable data — see
+        ``tests/core/test_spawn_pickling.py``.
     """
     reqs = list(requests)
     if workers is None:
@@ -204,8 +211,8 @@ def solve_many(
     if workers <= 1 or len(reqs) <= 1:
         return _run_in_process(reqs, return_exceptions)
     try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
+        ctx = multiprocessing.get_context(start_method or "fork")
+    except ValueError:  # pragma: no cover - platform without the method
         return _run_in_process(reqs, return_exceptions)
     try:
         with ProcessPoolExecutor(

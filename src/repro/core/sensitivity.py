@@ -25,7 +25,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ScheduleError
-from repro.core.enumerate import enumerate_schedules
 from repro.core.replay import variant_duration
 from repro.core.schedule import IterationSchedule, Placement
 from repro.graph.cost import CallableCost

@@ -19,7 +19,7 @@ The view is the single source of truth every fault-aware component reads:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.errors import ClusterError, FaultError
 from repro.sim.cluster import ClusterSpec, Processor

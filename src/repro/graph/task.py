@@ -136,6 +136,14 @@ class Task:
     compute:
         Optional real kernel ``(state, inputs_dict) -> outputs_dict`` used
         by the threaded runtime and calibration; the simulator ignores it.
+    compute_chunk / compute_join:
+        Optional data-parallel kernel pair for the process runtime:
+        ``compute_chunk(state, inputs, chunk_index, n_chunks) -> partial``
+        runs one chunk of the work (in a pool worker, so it must be
+        picklable-friendly: module-level or fork-inherited), and
+        ``compute_join(state, inputs, partials) -> outputs_dict`` merges
+        the ``n_chunks`` partial results.  A task scheduled with a dpN
+        variant but lacking these falls back to its serial ``compute``.
     """
 
     def __init__(
@@ -147,6 +155,8 @@ class Task:
         data_parallel: Optional[DataParallelSpec] = None,
         period: Optional[float] = None,
         compute: Optional[Callable[..., dict]] = None,
+        compute_chunk: Optional[Callable[..., object]] = None,
+        compute_join: Optional[Callable[..., dict]] = None,
     ) -> None:
         if not name or not isinstance(name, str):
             raise GraphError(f"task needs a non-empty string name, got {name!r}")
@@ -164,6 +174,12 @@ class Task:
         self.data_parallel = data_parallel
         self.period = period
         self.compute = compute
+        self.compute_chunk = compute_chunk
+        self.compute_join = compute_join
+        if compute_chunk is not None and compute_join is None:
+            raise GraphError(
+                f"task {name!r}: compute_chunk without compute_join"
+            )
 
     # -- variants ---------------------------------------------------------
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 __all__ = ["RecoveryStats", "recovery_stats"]
 

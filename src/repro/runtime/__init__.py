@@ -13,16 +13,29 @@
   produce: trace + channel registry + per-timestamp latency accounting.
 * :mod:`repro.runtime.threaded` — the live runtime running real kernels on
   real Python threads over :class:`~repro.stm.threaded.ThreadedChannel`.
+* :mod:`repro.runtime.process` — the live runtime running real kernels on
+  worker *processes* (one per scheduled cluster node, chunk pools for
+  data-parallel variants) over :class:`~repro.stm.process.ProcessChannel`.
 """
 
 from repro.runtime.result import ExecutionResult
 from repro.runtime.dynamic import DynamicExecutor
 from repro.runtime.static_exec import StaticExecutor
 from repro.runtime.threaded import ThreadedRuntime
+from repro.runtime.process import (
+    KernelFault,
+    ProcessFaultPlan,
+    ProcessResult,
+    ProcessRuntime,
+)
 
 __all__ = [
     "ExecutionResult",
     "DynamicExecutor",
     "StaticExecutor",
     "ThreadedRuntime",
+    "KernelFault",
+    "ProcessFaultPlan",
+    "ProcessResult",
+    "ProcessRuntime",
 ]

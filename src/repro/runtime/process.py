@@ -1,0 +1,759 @@
+"""The process-parallel runtime: one worker process per scheduled node.
+
+The threaded runtime proves the programming model but serializes every
+CPU-bound kernel behind the GIL, so a data-parallel schedule can never
+show real wall-clock speedup.  :class:`ProcessRuntime` is the missing
+rung between the simulator and real hardware:
+
+* every scheduled cluster *node* becomes a worker ``multiprocessing``
+  process (fork-based, mirroring :mod:`repro.core.parallel`);
+* each worker runs its node's task assignments as threads inside the
+  worker, exactly the threaded runtime's task body, but over
+  :class:`~repro.stm.process.ProcessChannel` proxies — STM items cross
+  nodes through the parent's :class:`~repro.stm.process.ChannelBroker`
+  (shared-memory transport for array payloads, pickle otherwise);
+* a task placed with a data-parallel variant (``dp4``) fans its chunks
+  out over the node's own process pool — the paper's FP/MP
+  decompositions finally execute concurrently;
+* ``obs=`` instrumentation keeps working: channel traffic is observed at
+  the broker, kernel spans are buffered per worker and merged into the
+  bundle at join;
+* ``faults=`` injection keeps working: a :class:`ProcessFaultPlan` can
+  make a kernel raise (covered by bounded in-worker retries) or kill a
+  whole worker mid-run — the parent detects the death through the
+  process sentinel, respawns the node, and the tasks resume from the
+  timestamps recorded in STM (puts replay idempotently), which is §3.4's
+  "failures as detectable regime changes" on a live substrate.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time as _time
+import traceback
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from repro.core.schedule import PipelinedSchedule
+from repro.errors import ReproError
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.trace import ExecSpan
+from repro.state import State
+from repro.stm.process import BrokerDied, ChannelBroker, ProcessChannel, WorkerLink
+from repro.stm.threaded import ChannelPoisoned
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.core.optimal import ScheduleSolution
+    from repro.obs import Observability
+    from repro.sim.cluster import ClusterSpec
+
+__all__ = [
+    "KernelFault",
+    "ProcessFaultPlan",
+    "ProcessResult",
+    "ProcessRuntime",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fault plan (live-substrate flavour of repro.faults)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelFault:
+    """One injected failure: ``task``'s kernel at frame ``timestamp``.
+
+    ``kind="error"`` makes the kernel raise (absorbed by in-worker
+    retries when the plan allows them); ``kind="exit"`` kills the whole
+    worker process — the live equivalent of a node crash.
+    """
+
+    task: str
+    timestamp: int
+    kind: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "exit"):
+            raise ReproError(f"unknown kernel fault kind {self.kind!r}")
+        if self.timestamp < 0:
+            raise ReproError(f"fault timestamp must be >= 0, got {self.timestamp}")
+
+
+@dataclass
+class ProcessFaultPlan:
+    """Deterministic failure script for a :class:`ProcessRuntime` run.
+
+    Attributes
+    ----------
+    events:
+        The injected :class:`KernelFault` records (each fires once).
+    kernel_retries:
+        In-worker retry budget per kernel invocation; an ``"error"``
+        fault survived by a retry costs one attempt and the frame still
+        completes.
+    max_respawns:
+        How many worker deaths the parent will repair by respawning the
+        node and resuming its tasks from STM state.
+    """
+
+    events: tuple = ()
+    kernel_retries: int = 1
+    max_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        self.events = tuple(self.events)
+        if self.kernel_retries < 0 or self.max_respawns < 0:
+            raise ReproError("retry/respawn budgets must be >= 0")
+
+    def events_for(self, tasks) -> list[KernelFault]:
+        names = set(tasks)
+        return [e for e in self.events if e.task in names]
+
+
+# ---------------------------------------------------------------------------
+# Result
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProcessResult:
+    """What a process-parallel run produced.
+
+    ``digitize_times`` / ``completion_times`` are wall-clock seconds
+    relative to the run start (comparable to the simulated executors'
+    fields for latency/uniformity metrics); ``spans`` are the merged
+    per-worker kernel executions.
+    """
+
+    outputs: dict[str, dict[int, Any]]
+    wall_time: float
+    channel_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    digitize_times: dict[int, float] = field(default_factory=dict)
+    completion_times: dict[int, float] = field(default_factory=dict)
+    spans: list[ExecSpan] = field(default_factory=list)
+    respawns: int = 0
+    kernel_retries: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything one node worker needs (fork-inherited, never pickled)."""
+
+    worker_id: int
+    node: int
+    tasks: list[Task]
+    state: State
+    static_channels: frozenset[str]
+    conns_in: dict[str, dict[str, int]]
+    conns_out: dict[str, dict[str, int]]
+    resume: dict[str, int]
+    timestamps: int
+    op_timeout: float
+    requests: Any
+    replies: Any
+    dp_plan: dict[str, tuple[int, str, tuple[int, ...]]]
+    primary_proc: dict[str, int]
+    fault_events: list[KernelFault]
+    kernel_retries: int
+    replay: bool
+    t0: float
+    record_spans: bool = True
+
+
+#: Chunkable tasks of THIS worker, read by forked pool children.
+_CHUNK_TASKS: dict[str, Task] = {}
+
+
+def _exec_chunk(task_name: str, state: State, inputs: dict,
+                chunk_index: int, n_chunks: int):
+    """Pool trampoline: run one data-parallel chunk of a task's kernel."""
+    task = _CHUNK_TASKS[task_name]
+    return task.compute_chunk(state, inputs, chunk_index, n_chunks)
+
+
+def _pool_warmup() -> int:
+    return os.getpid()
+
+
+def _fail_stop(requests) -> None:
+    """Die with exit code 13, releasing shared IPC locks first.
+
+    The broker's request queue is a single ``mp.Queue`` shared by every
+    producer; its write side is guarded by a semaphore that lives in
+    shared memory.  ``os._exit`` at an arbitrary instant can kill the
+    process while its queue feeder thread holds that semaphore mid-write,
+    which wedges every other producer — parent collectors and respawned
+    workers alike — until the runtime's hard deadline.  Closing and
+    joining the feeder flushes in-flight writes and releases the lock, so
+    the injected failure is a clean fail-stop at a kernel boundary.
+    """
+    try:
+        requests.close()
+        requests.join_thread()
+    except Exception:  # pragma: no cover - queue already torn down
+        pass
+    os._exit(13)
+
+
+def _worker_main(spec: _WorkerSpec) -> None:
+    """Entry point of one node worker (runs in the forked child)."""
+    link = WorkerLink(spec.worker_id, spec.requests, spec.replies)
+    pool = None
+    # The chunk pool must fork while this process is still single-threaded
+    # (forking with live threads can inherit held locks).  Warmup submits
+    # force the pool children into existence before any task thread starts.
+    chunked = [
+        t for t in spec.tasks
+        if t.compute_chunk is not None and spec.dp_plan.get(t.name, (1,))[0] > 1
+    ]
+    if chunked:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        for t in chunked:
+            _CHUNK_TASKS[t.name] = t
+        width = max(spec.dp_plan[t.name][0] for t in chunked)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            pool = ProcessPoolExecutor(max_workers=width, mp_context=ctx)
+            for f in [pool.submit(_pool_warmup) for _ in range(width)]:
+                f.result(timeout=60)
+        except Exception:  # pragma: no cover - no fork / broken pool
+            pool = None  # chunked tasks fall back to their serial kernel
+    link.start()
+
+    spans: list[tuple] = []
+    retries = [0]
+    errors: list[str] = []
+    errors_lock = threading.Lock()
+    fired: set[tuple[str, int]] = set()
+
+    def channel_for(name: str) -> ProcessChannel:
+        return ProcessChannel(name, link, replay=spec.replay)
+
+    def invoke_kernel(task: Task, inputs: dict, ts: int) -> dict:
+        """One (task, timestamp) execution, chunk-parallel when planned."""
+        fault = next(
+            (e for e in spec.fault_events
+             if e.task == task.name and e.timestamp == ts
+             and (task.name, ts) not in fired),
+            None,
+        )
+        attempts = spec.kernel_retries + 1
+        for attempt in range(attempts):
+            if fault is not None and (task.name, ts) not in fired:
+                fired.add((task.name, ts))
+                if fault.kind == "exit":
+                    _fail_stop(spec.requests)
+                raise_injected = True
+            else:
+                raise_injected = False
+            try:
+                if raise_injected:
+                    raise ReproError(
+                        f"injected kernel fault: {task.name} at ts={ts}"
+                    )
+                workers, _label, _procs = spec.dp_plan.get(
+                    task.name, (1, "serial", ())
+                )
+                if workers > 1 and task.compute_chunk is not None and pool is not None:
+                    futures = [
+                        pool.submit(_exec_chunk, task.name, spec.state, inputs,
+                                    i, workers)
+                        for i in range(workers)
+                    ]
+                    partials = [f.result(timeout=spec.op_timeout) for f in futures]
+                    if task.compute_join is not None:
+                        return task.compute_join(spec.state, inputs, partials)
+                    return partials[-1]
+                return task.compute(spec.state, inputs)
+            except ReproError:
+                if attempt + 1 >= attempts:
+                    raise
+                retries[0] += 1
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def task_body(task: Task) -> None:
+        try:
+            ins = {ch: channel_for(ch) for ch in task.inputs}
+            outs = {ch: channel_for(ch) for ch in task.outputs}
+            conns_in = spec.conns_in[task.name]
+            conns_out = spec.conns_out[task.name]
+            statics = {
+                ch: ins[ch].get(conns_in[ch], 0, timeout=spec.op_timeout)[1]
+                for ch in task.inputs
+                if ch in spec.static_channels
+            }
+            variant = spec.dp_plan.get(task.name, (1, "serial", ()))[1]
+            proc = spec.primary_proc.get(task.name, spec.node)
+            for ts in range(spec.resume.get(task.name, 0), spec.timestamps):
+                inputs = dict(statics)
+                for ch in task.inputs:
+                    if ch in spec.static_channels:
+                        continue
+                    _, value = ins[ch].get(conns_in[ch], ts,
+                                           timeout=spec.op_timeout)
+                    inputs[ch] = value
+                if task.compute is not None or task.compute_chunk is not None:
+                    k0 = _time.perf_counter() - spec.t0
+                    result = invoke_kernel(task, inputs, ts)
+                    k1 = _time.perf_counter() - spec.t0
+                    if spec.record_spans:
+                        spans.append((task.name, variant, ts, k0, k1, proc))
+                    if not isinstance(result, dict):
+                        raise ReproError(
+                            f"kernel of {task.name!r} returned "
+                            f"{type(result).__name__}, expected dict"
+                        )
+                else:
+                    result = {ch: inputs for ch in task.outputs}
+                for ch in task.outputs:
+                    if ch not in result:
+                        raise ReproError(
+                            f"kernel of {task.name!r} produced no value for "
+                            f"channel {ch!r}"
+                        )
+                    outs[ch].put(conns_out[ch], ts, result[ch],
+                                 timeout=spec.op_timeout)
+                for ch in task.inputs:
+                    if ch not in spec.static_channels:
+                        ins[ch].consume(conns_in[ch], ts)
+            for ch in list(ins.values()) + list(outs.values()):
+                ch.close()
+        except ChannelPoisoned:
+            pass
+        except BaseException:  # noqa: BLE001 - shipped to the parent
+            with errors_lock:
+                errors.append(traceback.format_exc())
+
+    threads = [
+        threading.Thread(target=task_body, args=(t,), name=f"task:{t.name}",
+                         daemon=True)
+        for t in spec.tasks
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    if errors:
+        link.notify("fatal", errors[0])
+        exitcode = 1
+    else:
+        link.notify("done", {
+            "worker": spec.worker_id,
+            "node": spec.node,
+            "spans": spans,
+            "kernel_retries": retries[0],
+        })
+        exitcode = 0
+    link.stop()
+    # Flush the queue's feeder thread so the final message survives the
+    # hard exit (os._exit skips atexit handlers, including queue joins).
+    spec.requests.close()
+    spec.requests.join_thread()
+    os._exit(exitcode)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side runtime
+# ---------------------------------------------------------------------------
+
+
+class ProcessRuntime:
+    """Run a task graph with worker processes — real parallel execution.
+
+    Parameters
+    ----------
+    graph / state / static_inputs / op_timeout / obs:
+        As for :class:`~repro.runtime.threaded.ThreadedRuntime`.
+    schedule:
+        Optional :class:`~repro.core.schedule.PipelinedSchedule` (or full
+        :class:`~repro.core.optimal.ScheduleSolution`).  Placements
+        determine the task-to-node mapping and the data-parallel widths;
+        requires ``cluster``.
+    cluster:
+        The :class:`~repro.sim.cluster.ClusterSpec` whose nodes the
+        schedule refers to.
+    placement:
+        Explicit ``{task: node}`` mapping (overrides ``schedule``).  With
+        neither, every task runs on node 0 (one worker, still a separate
+        process from the parent).
+    faults:
+        Optional :class:`ProcessFaultPlan`.
+    start_method:
+        ``multiprocessing`` start method; only ``"fork"`` supports
+        kernels that are closures (the default everywhere this runtime
+        targets).  Platforms without fork raise.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        state: State,
+        static_inputs: Optional[dict[str, Any]] = None,
+        schedule: Optional[Union[PipelinedSchedule, "ScheduleSolution"]] = None,
+        cluster: Optional["ClusterSpec"] = None,
+        placement: Optional[dict[str, int]] = None,
+        op_timeout: float = 60.0,
+        obs: Optional["Observability"] = None,
+        faults: Optional[ProcessFaultPlan] = None,
+        start_method: str = "fork",
+    ) -> None:
+        graph.validate()
+        from repro.core.optimal import ScheduleSolution
+
+        if isinstance(schedule, ScheduleSolution):
+            schedule = schedule.pipelined
+        if schedule is not None and cluster is None and placement is None:
+            raise ReproError("a schedule-driven ProcessRuntime needs cluster=")
+        self.graph = graph
+        self.state = state
+        self.static_inputs = dict(static_inputs or {})
+        self.schedule = schedule
+        self.cluster = cluster
+        self.op_timeout = op_timeout
+        self.obs = obs
+        self.faults = faults
+        self.start_method = start_method
+        for spec in graph.channels:
+            if spec.static and spec.name not in self.static_inputs:
+                raise ReproError(
+                    f"static channel {spec.name!r} needs a value in static_inputs"
+                )
+        self.assignment, self.dp_plan = self._derive_assignment(placement)
+
+    def _derive_assignment(self, placement):
+        """(task -> node, task -> (workers, variant, procs)) from the schedule."""
+        dp_plan: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+        if placement is not None:
+            return dict(placement), dp_plan
+        if self.schedule is None:
+            return {t.name: 0 for t in self.graph.tasks}, dp_plan
+        assignment: dict[str, int] = {}
+        for pl in self.schedule.iteration.placements:
+            assignment[pl.task] = self.cluster.node_of(pl.procs[0])
+            dp_plan[pl.task] = (len(pl.procs), pl.variant, tuple(pl.procs))
+        missing = [t.name for t in self.graph.tasks if t.name not in assignment]
+        if missing:
+            raise ReproError(f"schedule places no tasks {missing}")
+        return assignment, dp_plan
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, timestamps: int) -> ProcessResult:
+        """Process ``timestamps`` frames in order across the worker fleet."""
+        import multiprocessing
+
+        from multiprocessing.connection import wait as _wait
+
+        if timestamps < 1:
+            raise ReproError(f"timestamps must be >= 1, got {timestamps}")
+        try:
+            ctx = multiprocessing.get_context(self.start_method)
+        except ValueError as exc:  # pragma: no cover - exotic platform
+            raise ReproError(
+                f"start method {self.start_method!r} unavailable: {exc}"
+            ) from None
+
+        broker = ChannelBroker(
+            {spec.name: spec.capacity for spec in self.graph.channels},
+            obs=self.obs,
+        )
+        conns_in = {
+            t.name: {ch: broker.attach_input(ch, t.name) for ch in t.inputs}
+            for t in self.graph.tasks
+        }
+        conns_out = {
+            t.name: {ch: broker.attach_output(ch, t.name) for ch in t.outputs}
+            for t in self.graph.tasks
+        }
+        static_channels = frozenset(
+            spec.name for spec in self.graph.channels if spec.static
+        )
+        terminal = [
+            spec.name
+            for spec in self.graph.channels
+            if not spec.static and not self.graph.consumers(spec.name)
+            and self.graph.producers(spec.name)
+        ]
+        collector_conns = {ch: broker.attach_input(ch, "-collector-")
+                           for ch in terminal}
+        for name, value in self.static_inputs.items():
+            broker.put_static(name, value)
+
+        nodes = sorted(set(self.assignment.values()))
+        tasks_by_node = {
+            n: [t for t in self.graph.tasks if self.assignment[t.name] == n]
+            for n in nodes
+        }
+        primary_proc = {
+            task: plan[2][0] if plan[2] else self.assignment[task]
+            for task, plan in self.dp_plan.items()
+        }
+
+        # The parent talks to the broker through the same link machinery
+        # as the workers (worker id 0 is reserved for it).
+        parent_link = WorkerLink(0, broker.requests, broker.register_worker(0))
+
+        outputs: dict[str, dict[int, Any]] = {ch: {} for ch in terminal}
+        completion_raw: dict[str, dict[int, float]] = {ch: {} for ch in terminal}
+        collector_errors: list[str] = []
+
+        def collector_body(ch_name: str) -> None:
+            chan = ProcessChannel(ch_name, parent_link)
+            conn = collector_conns[ch_name]
+            try:
+                for ts in range(timestamps):
+                    got_ts, value = chan.get(conn, ts, timeout=self.op_timeout)
+                    outputs[ch_name][got_ts] = value
+                    completion_raw[ch_name][got_ts] = broker.now
+                    chan.consume(conn, got_ts)
+            except ChannelPoisoned:
+                pass
+            except (TimeoutError, BrokerDied) as exc:
+                collector_errors.append(f"{ch_name}: {exc}")
+
+        kernel_retries = self.faults.kernel_retries if self.faults else 0
+
+        def make_spec(worker_id: int, node: int, resume: dict[str, int],
+                      replay: bool) -> _WorkerSpec:
+            node_tasks = tasks_by_node[node]
+            return _WorkerSpec(
+                worker_id=worker_id,
+                node=node,
+                tasks=node_tasks,
+                state=self.state,
+                static_channels=static_channels,
+                conns_in={t.name: conns_in[t.name] for t in node_tasks},
+                conns_out={t.name: conns_out[t.name] for t in node_tasks},
+                resume=resume,
+                timestamps=timestamps,
+                op_timeout=self.op_timeout,
+                requests=broker.requests,
+                replies=broker.register_worker(worker_id),
+                dp_plan={t.name: self.dp_plan[t.name] for t in node_tasks
+                         if t.name in self.dp_plan},
+                primary_proc={t.name: primary_proc.get(t.name, node)
+                              for t in node_tasks},
+                fault_events=(self.faults.events_for(
+                    [t.name for t in node_tasks]) if self.faults else []),
+                kernel_retries=kernel_retries,
+                replay=replay,
+                t0=broker._t0,
+            )
+
+        broker.start()
+        parent_link.start()
+        t_start = _time.perf_counter()
+
+        next_worker_id = 1
+        workers: dict[int, tuple[Any, int]] = {}  # worker_id -> (Process, node)
+        for node in nodes:
+            spec = make_spec(next_worker_id, node, {}, replay=False)
+            proc = ctx.Process(target=_worker_main, args=(spec,),
+                               name=f"node{node}", daemon=True)
+            proc.start()
+            workers[next_worker_id] = (proc, node)
+            next_worker_id += 1
+
+        collectors = [
+            threading.Thread(target=collector_body, args=(ch,),
+                             name=f"collect:{ch}", daemon=True)
+            for ch in terminal
+        ]
+        for th in collectors:
+            th.start()
+
+        respawns = 0
+        completed_ok: set[int] = set()
+        respawn_budget = self.faults.max_respawns if self.faults else 0
+        hard_deadline = _time.monotonic() + self.op_timeout * (timestamps + 4)
+        failed: Optional[str] = None
+        try:
+            while workers:
+                if broker.errors:
+                    failed = broker.errors[0]
+                    break
+                if _time.monotonic() > hard_deadline:
+                    failed = "worker processes did not finish in time"
+                    break
+                sentinels = {w.sentinel: wid
+                             for wid, (w, _n) in workers.items()}
+                ready = _wait(list(sentinels), timeout=0.05)
+                for sent in ready:
+                    wid = sentinels[sent]
+                    proc, node = workers.pop(wid)
+                    proc.join()
+                    if proc.exitcode == 0:
+                        completed_ok.add(wid)
+                        continue
+                    if respawns >= respawn_budget:
+                        failed = (
+                            f"worker for node {node} died "
+                            f"(exit {proc.exitcode}) with no respawn budget"
+                        )
+                        break
+                    respawns += 1
+                    resume = self._resume_map(broker, conns_in, conns_out,
+                                              tasks_by_node[node])
+                    detected = broker.now
+                    if self.obs is not None:
+                        self.obs.on_detection(detected, "worker-death",
+                                              detail=f"node{node}")
+                    self._drop_fired_exits(tasks_by_node[node], resume)
+                    spec = make_spec(next_worker_id, node, resume, replay=True)
+                    newp = ctx.Process(target=_worker_main, args=(spec,),
+                                       name=f"node{node}r{respawns}",
+                                       daemon=True)
+                    newp.start()
+                    workers[next_worker_id] = (newp, node)
+                    next_worker_id += 1
+                    if self.obs is not None:
+                        self.obs.on_failover(detected, broker.now,
+                                             detail=f"respawn node{node}")
+                if failed:
+                    break
+        finally:
+            if failed:
+                broker.poison_all()
+            for _wid, (proc, _node) in workers.items():
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+            for th in collectors:
+                th.join(timeout=self.op_timeout)
+            parent_link.stop()
+        wall = _time.perf_counter() - t_start
+
+        # Worker exit races the broker draining its "done" message; wait for
+        # every cleanly-exited worker's buffers before merging.
+        wait_until = _time.monotonic() + 10.0
+        while (not failed
+               and not completed_ok.issubset(broker.done_payloads)
+               and _time.monotonic() < wait_until):
+            _time.sleep(0.005)
+        done = dict(broker.done_payloads)
+        stats = broker.stats()
+        gc_collected, high_water = broker.gc_totals()
+        digitize = self._digitize_times(broker)
+        broker.stop()
+        if failed:
+            raise ReproError(f"process runtime failed: {failed}")
+        if collector_errors:
+            raise ReproError(
+                f"terminal channels timed out: {collector_errors}"
+            )
+        still = [th.name for th in collectors if th.is_alive()]
+        if still:
+            raise ReproError(f"collectors did not finish: {still}")
+
+        spans: list[ExecSpan] = []
+        retries_total = 0
+        for payload in done.values():
+            retries_total += payload.get("kernel_retries", 0)
+            for (task, variant, ts, start, end, proc_idx) in payload["spans"]:
+                spans.append(ExecSpan(proc_idx, task, ts, start, end))
+                if self.obs is not None:
+                    from repro.obs.calibrate import node_class_of
+
+                    self.obs.on_exec(task, start, end, proc=proc_idx,
+                                     variant=variant, timestamp=ts,
+                                     node_class=node_class_of(self.cluster,
+                                                              proc_idx))
+        spans.sort(key=lambda s: (s.start, s.proc))
+
+        completion: dict[int, float] = {}
+        if completion_raw:
+            common = set.intersection(*(set(d) for d in completion_raw.values()))
+            for ts in common:
+                completion[ts] = max(d[ts] for d in completion_raw.values())
+        if self.obs is not None:
+            for ts in sorted(completion):
+                if ts in digitize:
+                    self.obs.on_frame(ts, completion[ts] - digitize[ts])
+
+        return ProcessResult(
+            outputs=outputs,
+            wall_time=wall,
+            channel_stats=stats,
+            digitize_times=digitize,
+            completion_times=completion,
+            spans=spans,
+            respawns=respawns,
+            kernel_retries=retries_total,
+            meta={
+                "nodes": nodes,
+                "assignment": dict(self.assignment),
+                "dp_plan": {k: v[:2] for k, v in self.dp_plan.items()},
+                "gc_collected": gc_collected,
+                "live_item_high_water": high_water,
+            },
+        )
+
+    # -- recovery helpers ---------------------------------------------------
+
+    def _resume_map(self, broker: ChannelBroker, conns_in, conns_out,
+                    node_tasks) -> dict[str, int]:
+        """First incomplete frame per task, recovered from STM state.
+
+        A task consumes its inputs *last* in the frame loop, so its
+        streaming input connections' virtual time is the first frame not
+        fully finished.  Sources (no inputs) resume after their last
+        replayable put.
+        """
+        resume: dict[str, int] = {}
+        for t in node_tasks:
+            streaming = [ch for ch in t.inputs
+                         if not self.graph.channel(ch).static]
+            if streaming:
+                resume[t.name] = min(
+                    broker.conn(conns_in[t.name][ch]).virtual_time
+                    for ch in streaming
+                )
+            elif t.outputs:
+                resume[t.name] = min(
+                    broker.conn_put_next(conns_out[t.name][ch])
+                    for ch in t.outputs
+                )
+            else:
+                resume[t.name] = 0
+        return resume
+
+    def _drop_fired_exits(self, node_tasks, resume: dict[str, int]) -> None:
+        """Remove exit faults the dead worker already executed.
+
+        Without this, the respawned worker would re-run the fatal frame,
+        hit the same injected exit, and crash-loop until the respawn
+        budget drained.
+        """
+        if self.faults is None:
+            return
+        names = {t.name for t in node_tasks}
+        self.faults.events = tuple(
+            e for e in self.faults.events
+            if not (e.kind == "exit" and e.task in names
+                    and e.timestamp <= resume.get(e.task, 0))
+        )
+
+    def _digitize_times(self, broker: ChannelBroker) -> dict[int, float]:
+        """Frame emission times: the put instants on source output channels."""
+        digitize: dict[int, float] = {}
+        for name in self.graph.source_tasks():
+            task = self.graph.task(name)
+            for ch in task.outputs:
+                for ts, t in broker.channels[ch].put_times.items():
+                    if ts not in digitize or t > digitize[ts]:
+                        digitize[ts] = t
+                break  # first output channel is the frame stream
+        return digitize

@@ -78,6 +78,17 @@ class StaticExecutor:
         completed frame is reported to the live metrics/tracing layer —
         and, if the bundle carries a calibrator, feeds cost-model drift
         detection.
+    runtime:
+        Which substrate executes the schedule: ``"sim"`` (default, the
+        discrete-event simulation above), ``"threaded"`` (real kernels on
+        Python threads) or ``"process"`` (real kernels on one worker
+        process per scheduled cluster node — genuine parallelism).  The
+        live substrates need ``compute`` kernels on the tasks and report
+        wall-clock times in the result's digitize/completion fields.
+    static_inputs:
+        Values for static configuration channels, required by the live
+        substrates (e.g. ``{"color_model": models}``); the simulation
+        substrate fills statics with a stub and ignores this.
     """
 
     def __init__(
@@ -90,12 +101,32 @@ class StaticExecutor:
         contended: bool = False,
         faults: Optional["FaultRuntime"] = None,
         obs: Optional["Observability"] = None,
+        runtime: str = "sim",
+        static_inputs: Optional[dict] = None,
     ) -> None:
         graph.validate()
+        if runtime not in ("sim", "threaded", "process"):
+            raise ReproError(
+                f"unknown runtime {runtime!r}; pick sim, threaded or process"
+            )
         if faults is not None and contended:
             raise ReproError(
                 "contended transfers are not supported under fault injection"
             )
+        if runtime != "sim":
+            from repro.runtime.process import ProcessFaultPlan
+
+            if contended:
+                raise ReproError(
+                    "contended transfers exist only on the sim substrate"
+                )
+            if faults is not None and not (
+                runtime == "process" and isinstance(faults, ProcessFaultPlan)
+            ):
+                raise ReproError(
+                    "live substrates take faults as a ProcessFaultPlan "
+                    "(process runtime only)"
+                )
         if isinstance(schedule, ScheduleSolution):
             schedule = schedule.pipelined
         if schedule.n_procs > cluster.total_processors:
@@ -111,11 +142,15 @@ class StaticExecutor:
         self.contended = contended
         self.faults = faults
         self.obs = obs
+        self.runtime = runtime
+        self.static_inputs = dict(static_inputs or {})
 
     def run(self, iterations: int) -> ExecutionResult:
         """Execute ``iterations`` timestamps and drain."""
         if iterations < 1:
             raise ReproError(f"iterations must be >= 1, got {iterations}")
+        if self.runtime != "sim":
+            return self._run_live(iterations)
         if self.faults is not None:
             from repro.faults.runner import FaultTolerantExecutor
 
@@ -318,5 +353,66 @@ class StaticExecutor:
                 "shift": self.schedule.shift,
                 "contended_time": fabric.contended_time if fabric else 0.0,
                 "transfers": fabric.transfers if fabric else 0,
+            },
+        )
+
+    def _run_live(self, iterations: int) -> ExecutionResult:
+        """Execute on a live substrate and adapt to :class:`ExecutionResult`.
+
+        Live digitize/completion times are wall-clock seconds relative to
+        run start, so ``latencies()`` and the uniformity metrics apply
+        unchanged — they just measure the real machine instead of the
+        cost model.
+        """
+        trace = TraceRecorder()
+        if self.runtime == "threaded":
+            from repro.runtime.threaded import ThreadedRuntime
+
+            res = ThreadedRuntime(
+                self.graph, self.state, static_inputs=self.static_inputs,
+                obs=self.obs,
+            ).run(iterations)
+            for (task, ts, start, end, proc) in res.spans:
+                trace.record_span(ExecSpan(proc, task, ts, start, end))
+            gc_collected = sum(
+                s.get("collected", 0) for s in res.channel_stats.values()
+            )
+            high_water = 0
+            extra = {}
+        else:
+            from repro.runtime.process import ProcessRuntime
+
+            res = ProcessRuntime(
+                self.graph, self.state, static_inputs=self.static_inputs,
+                schedule=self.schedule, cluster=self.cluster,
+                obs=self.obs, faults=self.faults,
+            ).run(iterations)
+            for span in res.spans:
+                trace.record_span(span)
+            gc_collected = res.meta["gc_collected"]
+            high_water = res.meta["live_item_high_water"]
+            extra = {
+                "respawns": res.respawns,
+                "kernel_retries": res.kernel_retries,
+                "nodes": res.meta["nodes"],
+                "dp_plan": res.meta["dp_plan"],
+            }
+        return ExecutionResult(
+            graph=self.graph,
+            state=self.state,
+            trace=trace,
+            digitize_times=res.digitize_times,
+            completion_times=res.completion_times,
+            horizon=res.wall_time,
+            emitted=iterations,
+            gc_collected=gc_collected,
+            live_item_high_water=high_water,
+            meta={
+                "substrate": self.runtime,
+                "wall_time": res.wall_time,
+                "channel_stats": res.channel_stats,
+                "outputs": res.outputs,
+                "period": self.schedule.period,
+                **extra,
             },
         )

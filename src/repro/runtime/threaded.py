@@ -44,11 +44,22 @@ class ThreadedResult:
         Wall-clock seconds for the whole run.
     channel_stats:
         Per-channel put/get/consume/collected counters.
+    digitize_times / completion_times:
+        Per-frame wall-clock seconds relative to run start: when the
+        source emitted the frame, and when every terminal channel had
+        received it — the live counterparts of the simulated executors'
+        fields, so latency metrics apply across substrates.
+    spans:
+        ``(task, timestamp, start, end, thread_index)`` kernel
+        executions, wall-clock relative to run start.
     """
 
     outputs: dict[str, dict[int, Any]]
     wall_time: float
     channel_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    digitize_times: dict[int, float] = field(default_factory=dict)
+    completion_times: dict[int, float] = field(default_factory=dict)
+    spans: list[tuple] = field(default_factory=list)
 
 
 class ThreadedRuntime:
@@ -122,6 +133,13 @@ class ThreadedRuntime:
         outputs: dict[str, dict[int, Any]] = {ch: {} for ch in terminal}
         errors: list[BaseException] = []
         errors_lock = threading.Lock()
+        # Wall-clock capture, all relative to t0 (set just before threads
+        # start; the closures only read it after starting).
+        t0_box = [0.0]
+        digitize_times: dict[int, float] = {}
+        completion_raw: dict[str, dict[int, float]] = {ch: {} for ch in terminal}
+        spans: list[tuple] = []
+        timing_lock = threading.Lock()
 
         def record_error(exc: BaseException) -> None:
             with errors_lock:
@@ -161,11 +179,15 @@ class ThreadedRuntime:
                         _, value = channels[ch].get(ins[ch], ts, timeout=self.op_timeout)
                         inputs[ch] = value
                     if task.compute is not None:
-                        k0 = _time.perf_counter() if obs is not None else 0.0
+                        k0 = _time.perf_counter()
                         result = task.compute(self.state, inputs)
+                        k1 = _time.perf_counter()
+                        with timing_lock:
+                            spans.append((task.name, ts, k0 - t0_box[0],
+                                          k1 - t0_box[0], task_index[task.name]))
                         if obs is not None:
                             obs.on_exec(
-                                task.name, k0, _time.perf_counter(),
+                                task.name, k0, k1,
                                 proc=task_index[task.name], timestamp=ts,
                             )
                         if not isinstance(result, dict):
@@ -182,6 +204,12 @@ class ThreadedRuntime:
                                 f"channel {ch!r}"
                             )
                         channels[ch].put(outs[ch], ts, result[ch], timeout=self.op_timeout)
+                    if task.is_source:
+                        with timing_lock:
+                            digitize_times[ts] = max(
+                                digitize_times.get(ts, 0.0),
+                                _time.perf_counter() - t0_box[0],
+                            )
                     for ch in task.inputs:
                         if not self.graph.channel(ch).static:
                             channels[ch].consume(ins[ch], ts)
@@ -196,6 +224,7 @@ class ThreadedRuntime:
                 for ts in range(timestamps):
                     got_ts, value = channels[ch_name].get(conn, ts, timeout=self.op_timeout)
                     outputs[ch_name][got_ts] = value
+                    completion_raw[ch_name][got_ts] = _time.perf_counter() - t0_box[0]
                     channels[ch_name].consume(conn, got_ts)
             except ChannelPoisoned:
                 pass
@@ -210,7 +239,7 @@ class ThreadedRuntime:
             threading.Thread(target=collector_body, args=(ch,), name=f"collect:{ch}", daemon=True)
             for ch in terminal
         ]
-        t0 = _time.perf_counter()
+        t0 = t0_box[0] = _time.perf_counter()
         for th in threads:
             th.start()
         for th in threads:
@@ -223,8 +252,17 @@ class ThreadedRuntime:
             raise ReproError(f"threads did not finish: {alive}")
         if errors:
             raise errors[0]
+        completion: dict[int, float] = {}
+        if completion_raw:
+            common = set.intersection(*(set(d) for d in completion_raw.values()))
+            for ts in common:
+                completion[ts] = max(d[ts] for d in completion_raw.values())
+        spans.sort(key=lambda s: s[2])
         return ThreadedResult(
             outputs=outputs,
             wall_time=wall,
             channel_stats={name: ch.stats for name, ch in channels.items()},
+            digitize_times=dict(sorted(digitize_times.items())),
+            completion_times=completion,
+            spans=spans,
         )

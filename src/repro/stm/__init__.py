@@ -20,6 +20,10 @@ appendix, Figures 7-8).  This package implements the full API:
   accounting.
 * :mod:`repro.stm.threaded` — a thread-safe blocking wrapper used by the
   live (real-thread) runtime and examples.
+* :mod:`repro.stm.process` — the cross-process transport: a parent-side
+  :class:`~repro.stm.process.ChannelBroker` owning real channels plus the
+  worker-side :class:`~repro.stm.process.ProcessChannel` proxy, with a
+  shared-memory ring for array payloads.
 """
 
 from repro.stm.item import Item
@@ -28,6 +32,13 @@ from repro.stm.channel import STMChannel, TS, NEWEST, OLDEST, NEWEST_UNSEEN
 from repro.stm.gc import collect_channel, GCStats
 from repro.stm.registry import STMRegistry
 from repro.stm.threaded import ThreadedChannel, ChannelPoisoned
+from repro.stm.process import (
+    BrokerDied,
+    ChannelBroker,
+    ProcessChannel,
+    ShmRing,
+    WorkerLink,
+)
 
 __all__ = [
     "Item",
@@ -43,4 +54,9 @@ __all__ = [
     "STMRegistry",
     "ThreadedChannel",
     "ChannelPoisoned",
+    "BrokerDied",
+    "ChannelBroker",
+    "ProcessChannel",
+    "ShmRing",
+    "WorkerLink",
 ]

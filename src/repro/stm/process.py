@@ -1,0 +1,737 @@
+"""Cross-process STM transport for the process-parallel runtime.
+
+The process runtime (:mod:`repro.runtime.process`) maps each scheduled
+cluster node to a worker *process*, so STM items must cross address
+spaces.  This module supplies the two halves of that transport:
+
+* :class:`ChannelBroker` — lives in the parent.  One service thread owns
+  the real :class:`~repro.stm.channel.STMChannel` objects (a single
+  source of truth, exactly like the condition-variable wrapper in
+  :mod:`repro.stm.threaded` owns its channel), services requests from
+  every worker, parks blocked gets/puts until a mutation can satisfy
+  them, and runs reference-count GC after each consume.  Because the
+  broker literally reuses ``STMChannel``, the timestamp/consume
+  semantics — wildcards, virtual-time advancement, born-consumed items,
+  and the ``try_get`` rule that a born-consumed item is a *miss* rather
+  than an error — are identical across the threaded and process
+  substrates by construction.
+
+* :class:`ProcessChannel` — the worker-side proxy with the same blocking
+  surface as :class:`~repro.stm.threaded.ThreadedChannel` (``put`` /
+  ``get`` / ``try_get`` / ``consume``, timeouts on the blocking pair,
+  :class:`~repro.stm.threaded.ChannelPoisoned` on shutdown).
+
+Payloads travel on two planes.  ``numpy`` arrays ride a shared-memory
+ring: each producer connection recycles a small set of
+:mod:`multiprocessing.shared_memory` segments, reusing a slot once the
+broker reports the item that occupied it was garbage collected (the
+put reply piggybacks the freed timestamps, so recycling costs no extra
+round trip).  Everything else — python scalars, lists, dicts, arbitrary
+pickles — travels inline in the request message.  Consumers always copy
+out of shared memory before returning, so a segment is never read after
+its item is collected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import queue
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import ItemConsumed, ItemUnavailable, STMError
+from repro.stm.channel import STMChannel, Timestamp
+from repro.stm.connection import Connection
+from repro.stm.gc import GCStats
+from repro.stm.threaded import ChannelPoisoned
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs import Observability
+
+try:  # pragma: no cover - exercised indirectly everywhere below
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - platforms without shm
+    _shm = None
+
+__all__ = [
+    "BrokerDied",
+    "ChannelBroker",
+    "ProcessChannel",
+    "ShmRing",
+    "WorkerLink",
+    "decode_value",
+]
+
+#: Arrays smaller than this travel as pickles — a shared-memory segment
+#: has fixed open/mmap overhead that only pays off for real frames.
+SHM_THRESHOLD_BYTES = 4096
+
+
+class BrokerDied(STMError):
+    """The parent-side broker stopped replying (crashed or shut down)."""
+
+
+# ---------------------------------------------------------------------------
+# Payload codec: ndarray -> shared memory, everything else -> pickle
+# ---------------------------------------------------------------------------
+
+
+def _as_shmable(value: Any):
+    """The value as a C-contiguous ndarray if shm transport applies, else None."""
+    if _shm is None:
+        return None
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        return None
+    if isinstance(value, np.ndarray) and value.nbytes >= SHM_THRESHOLD_BYTES:
+        return np.ascontiguousarray(value)
+    return None
+
+
+class ShmRing:
+    """Producer-side recycler of shared-memory segments.
+
+    One ring per producer connection.  ``acquire`` hands back a free
+    segment of sufficient size (or creates one); ``occupy`` ties the
+    segment to the timestamp it carries; ``release`` — fed from the
+    broker's put replies — returns collected timestamps' segments to the
+    free list.  Segment *unlinking* is centralized in the broker (which
+    tracks every name it has ever seen), so a producer crash never leaks
+    /dev/shm entries past the run.
+    """
+
+    def __init__(self, slots: int = 64) -> None:
+        self.max_slots = slots
+        self._free: list[Any] = []  # SharedMemory handles, largest last
+        self._inflight: dict[int, Any] = {}  # ts -> SharedMemory
+        self.created = 0
+        self.recycled = 0
+
+    def acquire(self, nbytes: int):
+        """A segment with room for ``nbytes`` (recycled when possible)."""
+        for i, seg in enumerate(self._free):
+            if seg.size >= nbytes:
+                self.recycled += 1
+                return self._free.pop(i)
+        self.created += 1
+        return _shm.SharedMemory(create=True, size=max(nbytes, 1))
+
+    def occupy(self, ts: int, seg) -> None:
+        self._inflight[ts] = seg
+
+    def release(self, timestamps) -> None:
+        for ts in timestamps:
+            seg = self._inflight.pop(ts, None)
+            if seg is not None and len(self._free) < self.max_slots:
+                self._free.append(seg)
+            elif seg is not None:
+                seg.close()
+
+    def close(self) -> None:
+        """Drop local mappings (the broker owns unlinking)."""
+        for seg in self._free:
+            seg.close()
+        for seg in self._inflight.values():
+            seg.close()
+        self._free.clear()
+        self._inflight.clear()
+
+
+def encode_value(value: Any, ring: Optional[ShmRing] = None, ts: int = -1):
+    """Encode one item value for transport.
+
+    Returns ``("shm", name, shape, dtype_str, nbytes)`` for large arrays
+    (written into a ring segment) or ``("pickle", bytes)`` for anything
+    else.
+    """
+    arr = _as_shmable(value) if ring is not None else None
+    if arr is not None:
+        seg = ring.acquire(arr.nbytes)
+        seg.buf[: arr.nbytes] = arr.tobytes()
+        ring.occupy(ts, seg)
+        return ("shm", seg.name, arr.shape, arr.dtype.str, arr.nbytes)
+    return ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_value(encoded) -> Any:
+    """Decode a transported value; shm payloads are copied out immediately."""
+    kind = encoded[0]
+    if kind == "pickle":
+        return pickle.loads(encoded[1])
+    if kind == "shm":
+        import numpy as np
+
+        _, name, shape, dtype, nbytes = encoded
+        seg = _shm.SharedMemory(name=name)
+        try:
+            dt = np.dtype(dtype)
+            # frombuffer exports a pointer into the segment's mmap; every
+            # view must be dropped before close() or the mmap refuses to
+            # unmap — hence copy, then delete the borrowing array.
+            view = np.frombuffer(seg.buf, dtype=dt, count=nbytes // dt.itemsize)
+            arr = view.reshape(shape).copy()
+            del view
+            return arr
+        finally:
+            seg.close()
+    raise STMError(f"unknown payload encoding {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+#
+# Request (worker -> broker): (worker_id, seq, op, channel, conn_id, args)
+#   ops with a reply:   put, get, try_get, consume
+#   fire-and-forget:    fatal (exc text), done (merged buffers), detach
+# Reply (broker -> worker): (seq, status, data)
+#   status: "ok" | "miss" | "timeout" | "poisoned" | "error"
+#   put "ok" data:   tuple of this connection's timestamps collected since
+#                    the previous reply (ring recycling feed)
+#   get "ok" data:   (ts, encoded_value)
+
+_STOP = ("-stop-", -1, "stop", "", 0, ())
+
+
+@dataclass
+class _Waiter:
+    """One parked blocking request inside the broker."""
+
+    worker: int
+    seq: int
+    conn_id: int
+    deadline: Optional[float]
+    op: str
+    ts: Any = None
+    encoded: Any = None
+    size: int = 0
+    replay: bool = False
+
+
+@dataclass
+class _BrokerChannel:
+    """Parent-side bookkeeping for one channel."""
+
+    stm: STMChannel
+    gc_stats: GCStats = field(default_factory=GCStats)
+    poisoned: bool = False
+    waiters: list[_Waiter] = field(default_factory=list)
+    #: every shm segment name an item of this channel ever used
+    segment_names: set[str] = field(default_factory=set)
+    #: producer conn -> timestamps collected since its last put reply
+    freed: dict[int, list[int]] = field(default_factory=dict)
+    #: ts -> (producer conn, encoding) for live items (segment reclaim)
+    producers: dict[int, tuple[int, Any]] = field(default_factory=dict)
+    #: wall-clock put times (digitize/latency accounting), never GC'd
+    put_times: dict[int, float] = field(default_factory=dict)
+
+
+class ChannelBroker:
+    """Parent-side STM service: one thread, all channels, exact semantics.
+
+    Parameters
+    ----------
+    channel_specs:
+        ``{name: capacity}`` for every channel to host.
+    obs:
+        Optional :class:`~repro.obs.Observability`; every put/get/consume
+        is reported with the broker's wall clock (relative to ``start``),
+        mirroring the threaded runtime's instrumentation point.
+    """
+
+    def __init__(self, channel_specs: dict[str, Optional[int]],
+                 obs: Optional["Observability"] = None) -> None:
+        if _shm is not None:
+            # Start the resource tracker *before* any worker forks: children
+            # then inherit its pipe and every segment register/unregister
+            # lands in one tracker.  Otherwise each worker lazily starts its
+            # own, which the broker's unlinks can never reach, and shutdown
+            # drowns in spurious "leaked shared_memory" warnings.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        self.requests = _mp_context().Queue()
+        self._replies: dict[int, Any] = {}
+        self.channels: dict[str, _BrokerChannel] = {
+            name: _BrokerChannel(stm=STMChannel(name, capacity=cap))
+            for name, cap in channel_specs.items()
+        }
+        self.obs = obs
+        self._conns: dict[int, tuple[str, Connection]] = {}
+        self._put_hw: dict[int, int] = {}
+        self.errors: list[str] = []
+        self.done_payloads: dict[int, Any] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._t0 = _time.perf_counter()
+        self._lock = threading.Lock()
+
+    # -- parent-side setup --------------------------------------------------
+
+    def register_worker(self, worker_id: int):
+        """Create (and remember) the reply queue for one worker."""
+        q = _mp_context().Queue()
+        self._replies[worker_id] = q
+        return q
+
+    def attach_input(self, channel: str, task: str) -> int:
+        conn = self.channels[channel].stm.attach_input(task)
+        self._conns[conn.conn_id] = (channel, conn)
+        return conn.conn_id
+
+    def attach_output(self, channel: str, task: str) -> int:
+        conn = self.channels[channel].stm.attach_output(task)
+        self._conns[conn.conn_id] = (channel, conn)
+        return conn.conn_id
+
+    def conn(self, conn_id: int) -> Connection:
+        return self._conns[conn_id][1]
+
+    def conn_put_next(self, conn_id: int) -> int:
+        """First timestamp connection ``conn_id`` has not yet put.
+
+        Worker-respawn recovery resumes a source task here: everything at
+        or below the high water already lives in (or passed through) STM.
+        """
+        hw = self._put_hw.get(conn_id)
+        return 0 if hw is None else hw + 1
+
+    def put_static(self, channel: str, value: Any, size: int = 0) -> None:
+        """Populate a static configuration channel before workers start."""
+        conn_id = self.attach_output(channel, "-env-")
+        bc = self.channels[channel]
+        bc.stm.put(self.conn(conn_id), 0, encode_value(value), size=size)
+
+    # -- local (parent-side) channel access ---------------------------------
+
+    def local_get(self, channel: str, conn_id: int, ts: Timestamp):
+        """Parent-side non-blocking get, decoding the payload (collector path).
+
+        A born-consumed item is a miss, not an error — under a saturated
+        schedule frames complete out of order, and a drain that consumed a
+        later timestamp already declared this one dead (skipping).
+        """
+        with self._lock:
+            bc = self.channels[channel]
+            try:
+                got_ts, encoded = bc.stm.get(self.conn(conn_id), ts)
+            except (ItemUnavailable, ItemConsumed):
+                return None
+            self._observe(channel, "get", got_ts, self.conn(conn_id).task)
+            return got_ts, decode_value(encoded)
+
+    def local_consume(self, channel: str, conn_id: int, ts: int) -> None:
+        with self._lock:
+            self._consume_locked(channel, conn_id, ts)
+            # A parent-side consume frees capacity like any other: blocked
+            # putters must get their retry.
+            self._wake_waiters(self.channels[channel])
+
+    def put_time(self, channel: str, ts: int) -> Optional[float]:
+        """Wall-clock time (relative to broker start) ``ts`` was put."""
+        return self.channels[channel].put_times.get(ts)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self._t0 = _time.perf_counter()
+        self._thread = threading.Thread(target=self._serve, name="stm-broker",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self.requests.put(_STOP)
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._unlink_all()
+
+    def poison_all(self) -> None:
+        with self._lock:
+            for name in self.channels:
+                self._poison_locked(name)
+
+    @property
+    def now(self) -> float:
+        return _time.perf_counter() - self._t0
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-channel put/get/consume/collected counters."""
+        with self._lock:
+            return {
+                name: {
+                    "puts": bc.stm.total_puts,
+                    "gets": bc.stm.total_gets,
+                    "consumed": bc.stm.total_consumed,
+                    "collected": bc.stm.total_collected,
+                }
+                for name, bc in self.channels.items()
+            }
+
+    def gc_totals(self) -> tuple[int, int]:
+        """(items collected, live-item high water) summed over channels."""
+        with self._lock:
+            return (
+                sum(bc.gc_stats.collected for bc in self.channels.values()),
+                sum(bc.gc_stats.high_water_items for bc in self.channels.values()),
+            )
+
+    # -- service loop -------------------------------------------------------
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                msg = self.requests.get(timeout=0.02)
+            except queue.Empty:
+                with self._lock:
+                    self._expire_waiters()
+                continue
+            if msg[2] == "stop":
+                return
+            try:
+                with self._lock:
+                    self._dispatch(msg)
+                    self._expire_waiters()
+            except Exception as exc:  # pragma: no cover - broker bug guard
+                self.errors.append(f"broker: {exc!r}")
+                with self._lock:
+                    for name in self.channels:
+                        self._poison_locked(name)
+
+    def _reply(self, worker: int, seq: int, status: str, data: Any = None) -> None:
+        q = self._replies.get(worker)
+        if q is not None:
+            q.put((seq, status, data))
+
+    def _observe(self, channel: str, kind: str, ts: int, task: str) -> None:
+        if self.obs is not None:
+            self.obs.on_item(self.now, channel, kind, ts, task=task)
+
+    def _dispatch(self, msg) -> None:
+        worker, seq, op, channel, conn_id, args = msg
+        if op == "fatal":
+            self.errors.append(args)
+            for name in self.channels:
+                self._poison_locked(name)
+            return
+        if op == "done":
+            self.done_payloads[worker] = args
+            return
+        bc = self.channels[channel]
+        if op == "put":
+            ts, encoded, size, timeout, replay = args
+            self._try_put(bc, _Waiter(
+                worker, seq, conn_id, self._deadline(timeout), "put",
+                ts=ts, encoded=encoded, size=size, replay=replay,
+            ))
+        elif op == "get":
+            ts, timeout = args
+            self._try_get(bc, _Waiter(
+                worker, seq, conn_id, self._deadline(timeout), "get", ts=ts,
+            ))
+        elif op == "try_get":
+            (ts,) = args
+            if bc.poisoned:
+                self._reply(worker, seq, "poisoned")
+                return
+            try:
+                got_ts, encoded = bc.stm.get(self.conn(conn_id), ts)
+            except (ItemUnavailable, ItemConsumed):
+                # Born-consumed items are misses: a consumer whose virtual
+                # time already passed ts (drain skipping under saturation)
+                # sees "nothing there", same as the hub/threaded rule.
+                self._reply(worker, seq, "miss")
+                return
+            self._observe(channel, "get", got_ts, self.conn(conn_id).task)
+            self._reply(worker, seq, "ok", (got_ts, encoded))
+        elif op == "consume":
+            (ts,) = args
+            if bc.poisoned:
+                self._reply(worker, seq, "poisoned")
+                return
+            try:
+                self._consume_locked(channel, conn_id, ts)
+            except STMError as exc:
+                self._reply(worker, seq, "error", pickle.dumps(exc))
+                return
+            self._reply(worker, seq, "ok")
+            self._wake_waiters(bc)
+        elif op == "detach":
+            ch, conn = self._conns.pop(conn_id, (None, None))
+            if conn is not None:
+                bc.stm.detach(conn)
+                self._collect(bc)
+                self._wake_waiters(bc)
+        else:  # pragma: no cover - protocol guard
+            self._reply(worker, seq, "error",
+                        pickle.dumps(STMError(f"unknown op {op!r}")))
+
+    @staticmethod
+    def _deadline(timeout: Optional[float]) -> Optional[float]:
+        return None if timeout is None else _time.monotonic() + timeout
+
+    # -- blocking semantics -------------------------------------------------
+
+    def _try_put(self, bc: _BrokerChannel, w: _Waiter) -> None:
+        if bc.poisoned:
+            self._reply(w.worker, w.seq, "poisoned")
+            return
+        if bc.stm.is_full:
+            bc.waiters.append(w)
+            return
+        conn = self.conn(w.conn_id)
+        try:
+            bc.stm.put(conn, w.ts, w.encoded, size=w.size, time=self.now)
+        except STMError as exc:
+            from repro.errors import DuplicateTimestamp
+
+            if w.replay and isinstance(exc, DuplicateTimestamp):
+                # At-least-once delivery after a worker respawn: the item
+                # from the first attempt survived in the parent, so the
+                # replayed put is an idempotent success.
+                self._reply(w.worker, w.seq, "ok",
+                            tuple(bc.freed.pop(w.conn_id, ())))
+                return
+            self._reply(w.worker, w.seq, "error", pickle.dumps(exc))
+            return
+        bc.producers[w.ts] = (w.conn_id, w.encoded)
+        bc.put_times[w.ts] = self.now
+        if w.ts > self._put_hw.get(w.conn_id, -1):
+            self._put_hw[w.conn_id] = w.ts
+        if w.encoded[0] == "shm":
+            bc.segment_names.add(w.encoded[1])
+        self._observe(bc.stm.name, "put", w.ts, conn.task)
+        self._reply(w.worker, w.seq, "ok", tuple(bc.freed.pop(w.conn_id, ())))
+        self._wake_waiters(bc)
+
+    def _try_get(self, bc: _BrokerChannel, w: _Waiter) -> None:
+        if bc.poisoned:
+            self._reply(w.worker, w.seq, "poisoned")
+            return
+        conn = self.conn(w.conn_id)
+        try:
+            got_ts, encoded = bc.stm.get(conn, w.ts)
+        except ItemUnavailable:
+            bc.waiters.append(w)
+            return
+        except ItemConsumed as exc:
+            self._reply(w.worker, w.seq, "error", pickle.dumps(exc))
+            return
+        self._observe(bc.stm.name, "get", got_ts, conn.task)
+        self._reply(w.worker, w.seq, "ok", (got_ts, encoded))
+
+    def _consume_locked(self, channel: str, conn_id: int, ts: int) -> None:
+        bc = self.channels[channel]
+        bc.stm.consume(self.conn(conn_id), ts)
+        self._observe(channel, "consume", ts, self.conn(conn_id).task)
+        self._collect(bc)
+
+    def _collect(self, bc: _BrokerChannel) -> None:
+        """GC fully-consumed items; feed freed timestamps back to producers."""
+        bc.gc_stats.observe(bc.stm)
+        bc.gc_stats.calls += 1
+        freed_bytes = 0
+        for ts in bc.stm.collectible():
+            item = bc.stm._remove(ts)
+            freed_bytes += item.size
+            bc.gc_stats.collected += 1
+            producer = bc.producers.pop(ts, None)
+            if producer is not None:
+                bc.freed.setdefault(producer[0], []).append(ts)
+        bc.gc_stats.bytes_freed += freed_bytes
+
+    def _wake_waiters(self, bc: _BrokerChannel) -> None:
+        """Retry every parked request after a mutation."""
+        pending, bc.waiters = bc.waiters, []
+        for w in pending:
+            if w.op == "put":
+                self._try_put(bc, w)
+            else:
+                self._try_get(bc, w)
+
+    def _expire_waiters(self) -> None:
+        now = _time.monotonic()
+        for bc in self.channels.values():
+            keep = []
+            for w in bc.waiters:
+                if w.deadline is not None and now >= w.deadline:
+                    self._reply(w.worker, w.seq, "timeout")
+                else:
+                    keep.append(w)
+            bc.waiters = keep
+
+    def _poison_locked(self, name: str) -> None:
+        bc = self.channels[name]
+        if bc.poisoned:
+            return
+        bc.poisoned = True
+        bc.stm.close()
+        for w in bc.waiters:
+            self._reply(w.worker, w.seq, "poisoned")
+        bc.waiters = []
+
+    def _unlink_all(self) -> None:
+        """Reclaim every shared-memory segment the run created."""
+        if _shm is None:  # pragma: no cover
+            return
+        for bc in self.channels.values():
+            for name in bc.segment_names:
+                try:
+                    seg = _shm.SharedMemory(name=name)
+                    seg.close()
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+            bc.segment_names.clear()
+
+
+def _mp_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context()
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class WorkerLink:
+    """One worker process's connection to the broker.
+
+    Owns the request queue handle, the worker's reply queue, a sequence
+    allocator, and the receiver thread that demultiplexes replies to the
+    task threads waiting on them.
+    """
+
+    def __init__(self, worker_id: int, requests, replies,
+                 default_timeout: Optional[float] = None) -> None:
+        self.worker_id = worker_id
+        self.requests = requests
+        self.replies = replies
+        self.default_timeout = default_timeout
+        self._seq = itertools.count(1)
+        self._pending: dict[int, tuple[threading.Event, list]] = {}
+        self._lock = threading.Lock()
+        self._receiver: Optional[threading.Thread] = None
+        self._stopped = False
+
+    def start(self) -> None:
+        self._receiver = threading.Thread(target=self._recv_loop,
+                                          name="stm-replies", daemon=True)
+        self._receiver.start()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _recv_loop(self) -> None:
+        while not self._stopped:
+            try:
+                seq, status, data = self.replies.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            except (OSError, EOFError):  # queue torn down at shutdown
+                return
+            with self._lock:
+                entry = self._pending.pop(seq, None)
+            if entry is not None:
+                entry[1].extend((status, data))
+                entry[0].set()
+
+    def notify(self, op: str, payload: Any) -> None:
+        """Fire-and-forget message (``fatal`` / ``done``)."""
+        self.requests.put((self.worker_id, 0, op, "", 0, payload))
+
+    def call(self, op: str, channel: str, conn_id: int, args,
+             timeout: Optional[float]) -> tuple[str, Any]:
+        seq = next(self._seq)
+        event = threading.Event()
+        slot: list = []
+        with self._lock:
+            self._pending[seq] = (event, slot)
+        self.requests.put((self.worker_id, seq, op, channel, conn_id, args))
+        # The broker enforces the request timeout; the local wait only
+        # guards against the broker itself dying, hence the grace margin.
+        grace = 30.0 if timeout is None else timeout + 30.0
+        if not event.wait(grace):
+            with self._lock:
+                self._pending.pop(seq, None)
+            raise BrokerDied(f"no broker reply to {op} on {channel!r}")
+        return slot[0], slot[1]
+
+
+class ProcessChannel:
+    """Worker-side blocking STM proxy — the ThreadedChannel surface over IPC.
+
+    ``conn_id`` handles come from the parent's pre-fork attachment (the
+    reference-count GC contract requires every input connection to exist
+    before any item flows, exactly as the threaded runtime attaches all
+    connections before starting threads).
+    """
+
+    def __init__(self, name: str, link: WorkerLink, ring: Optional[ShmRing] = None,
+                 replay: bool = False) -> None:
+        self.name = name
+        self._link = link
+        self._ring = ring if ring is not None else ShmRing()
+        self._replay = replay
+
+    def put(self, conn_id: int, ts: int, value: Any, size: int = 0,
+            timeout: Optional[float] = None) -> None:
+        """Insert an item, blocking while the channel is at capacity."""
+        encoded = encode_value(value, self._ring, ts)
+        status, data = self._link.call(
+            "put", self.name, conn_id, (ts, encoded, size, timeout, self._replay),
+            timeout,
+        )
+        if status == "ok":
+            self._ring.release(data or ())
+            return
+        self._raise(status, data, f"put to {self.name!r}")
+
+    def get(self, conn_id: int, ts: Timestamp,
+            timeout: Optional[float] = None) -> tuple[int, Any]:
+        """Retrieve ``(timestamp, value)``, blocking until available."""
+        status, data = self._link.call("get", self.name, conn_id, (ts, timeout),
+                                       timeout)
+        if status == "ok":
+            got_ts, encoded = data
+            return got_ts, decode_value(encoded)
+        self._raise(status, data, f"get from {self.name!r}")
+
+    def try_get(self, conn_id: int, ts: Timestamp) -> Optional[tuple[int, Any]]:
+        """Non-blocking get: None on a miss (born-consumed items included)."""
+        status, data = self._link.call("try_get", self.name, conn_id, (ts,), None)
+        if status == "ok":
+            got_ts, encoded = data
+            return got_ts, decode_value(encoded)
+        if status == "miss":
+            return None
+        self._raise(status, data, f"try_get from {self.name!r}")
+
+    def consume(self, conn_id: int, ts: int) -> None:
+        """Mark ``ts`` consumed; the broker garbage-collects immediately."""
+        status, data = self._link.call("consume", self.name, conn_id, (ts,), None)
+        if status != "ok":
+            self._raise(status, data, f"consume on {self.name!r}")
+
+    def close(self) -> None:
+        self._ring.close()
+
+    def _raise(self, status: str, data: Any, what: str) -> None:
+        if status == "poisoned":
+            raise ChannelPoisoned(f"channel {self.name!r} poisoned")
+        if status == "timeout":
+            raise TimeoutError(f"{what} timed out")
+        if status == "error":
+            raise pickle.loads(data)
+        raise STMError(f"{what}: unexpected reply {status!r}")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"ProcessChannel({self.name!r})"

@@ -22,9 +22,10 @@ release the GIL inside NumPy) end to end.
 from __future__ import annotations
 
 import threading
+import time as _time
 from typing import TYPE_CHECKING, Any, Optional
 
-from repro.errors import ItemUnavailable, STMError
+from repro.errors import ItemConsumed, ItemUnavailable, STMError
 from repro.stm.channel import STMChannel, Timestamp
 from repro.stm.connection import Connection
 from repro.stm.gc import GCStats, collect_channel
@@ -104,7 +105,8 @@ class ThreadedChannel:
                 if self._poisoned:
                     raise ChannelPoisoned(f"channel {self.name!r} poisoned")
                 if not self._chan.is_full:
-                    self._chan.put(conn, ts, value, size=size)
+                    self._chan.put(conn, ts, value, size=size,
+                                   time=_time.perf_counter())
                     self._changed.notify_all()
                     break
                 if not self._changed.wait(timeout):
@@ -136,11 +138,17 @@ class ThreadedChannel:
         return got
 
     def try_get(self, conn: Connection, ts: Timestamp) -> Optional[tuple[int, Any]]:
-        """Non-blocking get: None on a miss."""
+        """Non-blocking get: None on a miss.
+
+        A born-consumed item is a miss too, not an error — same rule as
+        :meth:`repro.runtime.hub.ChannelHub.try_get` and the process
+        broker, so a drain that skipped ahead under saturation behaves
+        identically on every substrate.
+        """
         with self._lock:
             try:
                 return self._chan.get(conn, ts)
-            except ItemUnavailable:
+            except (ItemConsumed, ItemUnavailable):
                 return None
 
     def consume(self, conn: Connection, ts: int) -> None:
@@ -159,6 +167,15 @@ class ThreadedChannel:
             self._changed.notify_all()
 
     # -- inspection ---------------------------------------------------------------
+
+    @property
+    def waiting_threads(self) -> int:
+        """How many threads are blocked inside :meth:`get` / :meth:`put`.
+
+        Test hook: lets tests wait deterministically for "the other thread
+        has blocked" instead of sleeping a magic duration.
+        """
+        return len(self._changed._waiters)  # type: ignore[attr-defined]
 
     def __len__(self) -> int:
         with self._lock:

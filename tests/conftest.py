@@ -2,12 +2,35 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.apps.tracker.graph import build_tracker_graph, tracker_planner
+from repro.apps.tracker.graph import build_tracker_graph
 from repro.graph.builders import chain_graph, fork_join_graph
 from repro.sim.cluster import ClusterSpec, SINGLE_NODE_SMP, STAMPEDE_CLUSTER
 from repro.state import State
+
+
+@pytest.fixture
+def wait_until():
+    """Deterministic replacement for ``time.sleep(<guess>)`` in tests.
+
+    Polls ``predicate`` until it holds (returning immediately once it
+    does) and fails loudly after ``timeout`` — so concurrency tests wait
+    for the actual condition ("the consumer thread has blocked") instead
+    of a magic wall-clock duration that flakes on loaded CI machines.
+    """
+
+    def _wait(predicate, timeout: float = 5.0, interval: float = 0.0005) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(interval)
+        raise AssertionError(f"condition not reached within {timeout}s")
+
+    return _wait
 
 
 @pytest.fixture

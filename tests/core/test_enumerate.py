@@ -12,7 +12,6 @@ from repro.graph.task import DataParallelSpec, Task
 from repro.graph.taskgraph import TaskGraph
 from repro.sim.cluster import SINGLE_NODE_SMP, ClusterSpec
 from repro.sim.network import CommCost, CommModel
-from repro.state import State
 
 
 class TestKnownOptima:

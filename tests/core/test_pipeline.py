@@ -10,7 +10,6 @@ from repro.core.pipeline import best_pipelined, min_initiation_interval, naive_p
 from repro.core.schedule import IterationSchedule, Placement, PipelinedSchedule
 from repro.graph.builders import chain_graph
 from repro.sim.cluster import SINGLE_NODE_SMP
-from repro.state import State
 
 
 class TestNaivePipeline:

@@ -1,0 +1,160 @@
+"""Property-based tests over seeded random task graphs (no hypothesis dep).
+
+A lightweight generator builds small random layered DAGs from a seeded
+``random.Random``; each property then holds over every generated instance:
+
+* every schedule the branch-and-bound enumerates is *legal* — dependency
+  order respected, no processor double-booked, no placement outside the
+  cluster;
+* the reported optimal latency L is exactly what the simulator measures
+  when the schedule executes (zero slips, single iteration);
+* a :class:`~repro.core.table.ScheduleTable` built over a regime space is
+  total — every state looks up to a real solution.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.optimal import OptimalScheduler
+from repro.core.table import ScheduleTable
+from repro.errors import RegimeError
+from repro.graph.channel import ChannelSpec
+from repro.graph.cost import ConstantCost, LinearCost
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.runtime.static_exec import StaticExecutor
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State, StateSpace
+
+_EPS = 1e-9
+SEEDS = list(range(10))
+
+
+def random_layered_graph(seed: int) -> TaskGraph:
+    """A random DAG: one source, 1-2 middle layers, random fan-in edges.
+
+    Every task writes one channel; every non-source task reads 1-2
+    channels from strictly earlier layers, so the graph is acyclic by
+    construction and has a unique topological source.
+    """
+    rng = random.Random(seed)
+    g = TaskGraph(f"random-{seed}")
+    layers: list[list[str]] = [["t0"]]
+    g.add_channel(ChannelSpec("c_t0", item_bytes=100))
+    g.add_task(Task("t0", cost=ConstantCost(round(rng.uniform(0.1, 1.0), 3)),
+                    outputs=["c_t0"]))
+    n_layers = rng.randint(1, 2)
+    idx = 1
+    for _ in range(n_layers):
+        width = rng.randint(1, 2)
+        layer = []
+        earlier = [name for l in layers for name in l]
+        for _ in range(width):
+            name = f"t{idx}"
+            idx += 1
+            fan_in = rng.sample(earlier, k=min(len(earlier), rng.randint(1, 2)))
+            g.add_channel(ChannelSpec(f"c_{name}", item_bytes=100))
+            g.add_task(Task(
+                name,
+                cost=ConstantCost(round(rng.uniform(0.1, 1.0), 3)),
+                inputs=[f"c_{src}" for src in fan_in],
+                outputs=[f"c_{name}"],
+            ))
+            layer.append(name)
+        layers.append(layer)
+    # A sink joining all loose ends keeps every channel consumed but one.
+    loose = [name for l in layers for name in l
+             if not g.consumers(f"c_{name}")]
+    g.add_channel(ChannelSpec("c_sink", item_bytes=100))
+    g.add_task(Task("t_sink", cost=ConstantCost(0.1),
+                    inputs=[f"c_{src}" for src in loose],
+                    outputs=["c_sink"]))
+    g.validate()
+    return g
+
+
+def assert_schedule_legal(schedule, graph: TaskGraph, n_procs: int) -> None:
+    placed = {p.task: p for p in schedule.placements}
+    assert set(placed) == {t.name for t in graph.tasks}, "every task placed once"
+    for p in schedule.placements:
+        for proc in p.procs:
+            assert 0 <= proc < n_procs, f"{p.task} placed off-cluster"
+        for pred in graph.predecessors(p.task):
+            assert p.start >= placed[pred].end - _EPS, (
+                f"{p.task} starts before predecessor {pred} ends"
+            )
+    by_proc: dict[int, list] = {}
+    for p in schedule.placements:
+        for proc in p.procs:
+            by_proc.setdefault(proc, []).append(p)
+    for proc, ps in by_proc.items():
+        ps.sort(key=lambda p: p.start)
+        for a, b in zip(ps, ps[1:]):
+            assert a.end <= b.start + _EPS, (
+                f"proc {proc} double-booked: {a.task} overlaps {b.task}"
+            )
+
+
+class TestEnumeratedSchedulesAreLegal:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_schedule_in_s_is_legal(self, seed):
+        g = random_layered_graph(seed)
+        cluster = SINGLE_NODE_SMP(2 + seed % 2)
+        result = OptimalScheduler(cluster).enumerate(g, State(n_models=1))
+        assert result.schedules, "enumeration found no schedule"
+        for schedule in result.schedules:
+            assert_schedule_legal(schedule, g, cluster.total_processors)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reported_latency_is_the_makespan_of_s(self, seed):
+        g = random_layered_graph(seed)
+        cluster = SINGLE_NODE_SMP(2)
+        result = OptimalScheduler(cluster).enumerate(g, State(n_models=1))
+        for schedule in result.schedules:
+            makespan = max(p.end for p in schedule.placements)
+            assert makespan == pytest.approx(result.latency)
+
+
+class TestLatencyMatchesSimulator:
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_solver_latency_equals_measured(self, seed):
+        """L from the optimizer == the simulator's single-iteration latency.
+
+        Latency is measured from the source's output put (after the source
+        placement runs), so the source span is subtracted — same contract
+        as the tracker executor tests.
+        """
+        g = random_layered_graph(seed)
+        cluster = SINGLE_NODE_SMP(2)
+        state = State(n_models=1)
+        sol = OptimalScheduler(cluster).solve(g, state)
+        result = StaticExecutor(g, state, cluster, sol).run(1)
+        assert result.meta["slips"] == 0
+        assert result.completed == [0]
+        source_end = sol.iteration.placement("t0").end
+        assert result.latency(0) == pytest.approx(sol.latency - source_end)
+
+
+class TestScheduleTableTotality:
+    def test_lookup_total_over_regime_space(self):
+        g = TaskGraph("regime")
+        g.add_channel(ChannelSpec("a", item_bytes=100))
+        g.add_channel(ChannelSpec("b", item_bytes=100))
+        g.add_task(Task("src", cost=ConstantCost(0.2), outputs=["a"]))
+        g.add_task(Task("work", cost=LinearCost(base=0.1, slope=0.3,
+                                                variable="n_models"),
+                        inputs=["a"], outputs=["b"]))
+        g.validate()
+        space = StateSpace.range("n_models", 1, 4)
+        table = ScheduleTable.build(g, space, OptimalScheduler(SINGLE_NODE_SMP(2)))
+        assert len(table) == len(list(space))
+        for state in space:
+            sol = table.lookup(state)
+            assert sol is not None
+            assert sol.latency > 0.0
+            assert state in table
+        with pytest.raises(RegimeError):
+            table.lookup(State(n_models=99))

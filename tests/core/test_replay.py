@@ -9,7 +9,6 @@ from repro.core.optimal import OptimalScheduler
 from repro.core.replay import replay_pipelined, replay_with_state, variant_duration
 from repro.core.schedule import IterationSchedule, Placement
 from repro.graph.builders import chain_graph
-from repro.sim.cluster import SINGLE_NODE_SMP
 from repro.state import State
 
 

@@ -9,7 +9,6 @@ from repro.core.schedule import IterationSchedule, PipelinedSchedule, Placement
 from repro.graph.builders import chain_graph, fork_join_graph
 from repro.sim.cluster import SINGLE_NODE_SMP, ClusterSpec
 from repro.sim.network import CommCost, CommModel
-from repro.state import State
 
 
 class TestPlacement:

@@ -1,0 +1,75 @@
+"""Spawn-start-method regression: solve payloads must pickle round-trip.
+
+``fork`` inherits everything by memory, which silently tolerates
+unpicklable payloads; ``spawn`` re-imports the world and ships every
+object through pickle.  These tests pin the contract that the off-line
+solve pipeline (``SearchProblem`` → ``SolveRequest`` → ``solve_many``)
+and the ``ScheduleCache`` stay pure picklable data, so tables can be
+built on platforms where ``fork`` is unavailable or unsafe.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.cache import ScheduleCache
+from repro.core.enumerate import SearchProblem
+from repro.core.optimal import OptimalScheduler
+from repro.core.parallel import make_request, solve_many
+from repro.graph.builders import chain_graph
+from repro.sim.cluster import SINGLE_NODE_SMP
+
+
+@pytest.fixture
+def tracker_problem(tracker_graph, m8):
+    return SearchProblem.from_graph(tracker_graph, m8, max_workers=4)
+
+
+class TestPickleRoundTrips:
+    def test_search_problem_round_trips(self, tracker_problem):
+        clone = pickle.loads(pickle.dumps(tracker_problem))
+        assert clone == tracker_problem
+        # The digest payload drives cache keys: identical after the trip.
+        assert clone.digest_payload() == tracker_problem.digest_payload()
+
+    def test_solve_request_round_trips(self, tracker_graph, m8):
+        request = make_request(tracker_graph, m8, SINGLE_NODE_SMP(4))
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone.problem == request.problem
+        assert clone.state == request.state
+        assert clone.incumbent == request.incumbent
+
+    def test_schedule_cache_round_trips(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.root == cache.root
+        assert clone.stats.hits == 0
+
+    def test_cache_usable_after_round_trip(self, tmp_path, m1):
+        g = chain_graph([0.5, 0.5])
+        cluster = SINGLE_NODE_SMP(2)
+        scheduler = OptimalScheduler(cluster)
+        request = scheduler.request(g, m1)
+        sol = solve_many([request])[0]
+        cache = pickle.loads(pickle.dumps(ScheduleCache(tmp_path)))
+        cache.store(request, sol)
+        hit = cache.fetch(request)
+        assert hit is not None
+        assert hit.latency == pytest.approx(sol.latency)
+
+
+class TestSpawnExecution:
+    def test_solve_many_under_spawn(self, m1):
+        """A spawn pool produces the same solutions as the in-process path."""
+        cluster = SINGLE_NODE_SMP(2)
+        scheduler = OptimalScheduler(cluster)
+        graphs = [chain_graph([0.5, 0.5]), chain_graph([0.3, 0.3, 0.3])]
+        requests = [scheduler.request(g, m1) for g in graphs]
+        baseline = solve_many(requests, workers=1)
+        spawned = solve_many(requests, workers=2, start_method="spawn")
+        for base, spawn in zip(baseline, spawned):
+            assert spawn.latency == pytest.approx(base.latency)
+            assert spawn.period == pytest.approx(base.period)
+            assert spawn.iteration.placements == base.iteration.placements

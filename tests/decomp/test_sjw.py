@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import threading
 
 import pytest
 
@@ -46,7 +45,6 @@ class TestCompute:
         """Workers finish out of order; the done-channel sorting network
         restores chunk order."""
         import time
-        import random
 
         def split(state, inputs):
             return [

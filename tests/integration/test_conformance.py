@@ -1,0 +1,165 @@
+"""Cross-substrate conformance: sim, threaded and process runtimes agree.
+
+The same tracker graph and the same schedule run on all three substrates
+behind ``StaticExecutor(runtime=...)``; the STM item streams they produce
+must be indistinguishable — identical per-channel put/consume/collect
+counts, identical completed-frame sets, and (between the two live
+substrates) identical output values.  Two schedules are covered: a fully
+serial placement and a data-parallel one (T4 as ``dp2``), so the chunked
+execution path is held to the same contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.tracker.graph import attach_kernels, build_tracker_graph
+from repro.apps.video import VideoSource
+from repro.core.schedule import IterationSchedule, PipelinedSchedule, Placement
+from repro.runtime.static_exec import StaticExecutor
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+pytestmark = pytest.mark.slow
+
+N_FRAMES = 4
+N_MODELS = 2
+SUBSTRATES = ("sim", "threaded", "process")
+
+
+def _fresh_setup():
+    """A new graph + video per run: T1/T2 kernels are stateful."""
+    video = VideoSource(n_targets=N_MODELS, height=48, width=64, seed=23)
+    graph = build_tracker_graph(frame_shape=(48, 64))
+    live, statics = attach_kernels(graph, video)
+    return live, statics
+
+
+def serial_schedule(graph, state) -> PipelinedSchedule:
+    """Every task sequentially on processor 0, starts at cost-model ends."""
+    placements, t = [], 0.0
+    for name in ("T1", "T2", "T3", "T4", "T5"):
+        d = graph.task(name).cost(state)
+        placements.append(Placement(name, (0,), t, d))
+        t += d
+    return PipelinedSchedule(
+        IterationSchedule(placements), period=t, shift=0, n_procs=1
+    )
+
+
+def dp_schedule(graph, state) -> PipelinedSchedule:
+    """T2/T3 in parallel, T4 as a two-worker data-parallel placement."""
+    c = {name: graph.task(name).cost(state) for name in
+         ("T1", "T2", "T3", "T4", "T5")}
+    t4_start = c["T1"] + max(c["T2"], c["T3"])
+    t4_dur = c["T4"] / 2 + 0.05  # two workers + split/join slack
+    it = IterationSchedule([
+        Placement("T1", (0,), 0.0, c["T1"]),
+        Placement("T2", (1,), c["T1"], c["T2"]),
+        Placement("T3", (2,), c["T1"], c["T3"]),
+        Placement("T4", (2, 3), t4_start, t4_dur, variant="dp2"),
+        Placement("T5", (0,), t4_start + t4_dur, c["T5"]),
+    ])
+    return PipelinedSchedule(
+        it, period=t4_start + t4_dur + c["T5"], shift=0, n_procs=4
+    )
+
+
+def run_on(substrate: str, make_schedule) -> object:
+    live, statics = _fresh_setup()
+    state = State(n_models=N_MODELS)
+    sched = make_schedule(live, state)
+    ex = StaticExecutor(
+        live, state, SINGLE_NODE_SMP(4), sched,
+        runtime=substrate, static_inputs=statics,
+    )
+    return ex.run(N_FRAMES)
+
+
+@pytest.fixture(scope="module", params=["serial", "dp"])
+def runs(request):
+    make = serial_schedule if request.param == "serial" else dp_schedule
+    return request.param, {sub: run_on(sub, make) for sub in SUBSTRATES}
+
+
+def streaming_channels(result):
+    g = result.graph
+    return [
+        spec.name for spec in g.channels
+        if not spec.static and g.producers(spec.name)
+    ]
+
+
+def item_counts(result) -> dict[str, dict[str, int]]:
+    """Per-streaming-channel put/consume counts, any substrate.
+
+    The sim trace records put/get/consume item events but not GC sweeps,
+    so "collected" is compared separately (live substrates against each
+    other, and totals via ``gc_collected`` across all three).
+    """
+    chans = streaming_channels(result)
+    if result.meta.get("substrate") in ("threaded", "process"):
+        stats = result.meta["channel_stats"]
+        return {
+            ch: {k: stats[ch][k] for k in ("puts", "consumed")} for ch in chans
+        }
+    counts = {ch: {"puts": 0, "consumed": 0} for ch in chans}
+    keymap = {"put": "puts", "consume": "consumed"}
+    for ev in result.trace.items:
+        if ev.channel in counts and ev.kind in keymap:
+            counts[ev.channel][keymap[ev.kind]] += 1
+    return counts
+
+
+class TestItemStreams:
+    def test_per_channel_counts_identical(self, runs):
+        _, results = runs
+        reference = item_counts(results["sim"])
+        for sub in ("threaded", "process"):
+            assert item_counts(results[sub]) == reference, sub
+
+    def test_live_channel_stats_identical(self, runs):
+        """Threaded and process runs see the same full counter set."""
+        _, results = runs
+        t_stats = results["threaded"].meta["channel_stats"]
+        p_stats = results["process"].meta["channel_stats"]
+        for ch in streaming_channels(results["threaded"]):
+            assert t_stats[ch] == p_stats[ch], ch
+
+    def test_every_frame_completes_everywhere(self, runs):
+        _, results = runs
+        for sub, res in results.items():
+            assert res.completed == list(range(N_FRAMES)), sub
+            assert set(res.digitize_times) == set(range(N_FRAMES)), sub
+
+    def test_live_substrates_agree_on_values(self, runs):
+        _, results = runs
+        t_locs = results["threaded"].meta["outputs"]["model_locations"]
+        p_locs = results["process"].meta["outputs"]["model_locations"]
+        for ts in range(N_FRAMES):
+            assert t_locs[ts] == p_locs[ts], ts
+
+    def test_gc_reclaims_equally(self, runs):
+        _, results = runs
+        collected = {sub: res.gc_collected for sub, res in results.items()}
+        assert len(set(collected.values())) == 1, collected
+
+
+class TestLatencyInvariants:
+    def test_sim_replays_with_zero_slips(self, runs):
+        _, results = runs
+        assert results["sim"].meta["slips"] == 0
+
+    def test_live_latencies_positive_and_ordered(self, runs):
+        _, results = runs
+        for sub in ("threaded", "process"):
+            res = results[sub]
+            for ts in res.completed:
+                assert res.completion_times[ts] >= res.digitize_times[ts], (sub, ts)
+                assert res.latency(ts) >= 0.0, (sub, ts)
+
+    def test_dp_plan_reaches_process_runtime(self, runs):
+        which, results = runs
+        if which != "dp":
+            pytest.skip("serial schedule has no dp placement")
+        assert results["process"].meta["dp_plan"]["T4"] == (2, "dp2")

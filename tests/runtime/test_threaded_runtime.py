@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ReproError
-from repro.graph.builders import chain_graph
 from repro.graph.channel import ChannelSpec
 from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph

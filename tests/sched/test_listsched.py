@@ -10,7 +10,6 @@ from repro.sched.handtuned import with_source_period
 from repro.sched.listsched import list_schedule
 from repro.sim.cluster import SINGLE_NODE_SMP, ClusterSpec
 from repro.sim.network import CommCost, CommModel
-from repro.state import State
 
 
 class TestListSchedule:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ProcessError, SimDeadlock, SimTimeError
-from repro.sim.engine import AllOf, AnyOf, Interrupt, Process, SimEvent, Simulator, Timeout
+from repro.sim.engine import Interrupt, Simulator
 
 
 class TestSimEvent:

@@ -13,7 +13,6 @@ from repro.errors import (
     STMError,
 )
 from repro.stm.channel import NEWEST, NEWEST_UNSEEN, OLDEST, STMChannel
-from repro.stm.connection import Direction
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 
@@ -12,7 +11,7 @@ from repro.stm.threaded import ChannelPoisoned, ThreadedChannel
 
 
 class TestBlockingGet:
-    def test_get_blocks_until_put(self):
+    def test_get_blocks_until_put(self, wait_until):
         chan = ThreadedChannel("c")
         out = chan.attach_output("p")
         inp = chan.attach_input("q")
@@ -23,7 +22,7 @@ class TestBlockingGet:
 
         t = threading.Thread(target=consumer)
         t.start()
-        time.sleep(0.02)
+        wait_until(lambda: chan.waiting_threads == 1)
         chan.put(out, 0, "hello")
         t.join(timeout=5.0)
         assert result == [(0, "hello")]
@@ -44,7 +43,7 @@ class TestBlockingGet:
 
 
 class TestBlockingPut:
-    def test_put_blocks_at_capacity(self):
+    def test_put_blocks_at_capacity(self, wait_until):
         chan = ThreadedChannel("c", capacity=1)
         out = chan.attach_output("p")
         inp = chan.attach_input("q")
@@ -57,7 +56,7 @@ class TestBlockingPut:
 
         t = threading.Thread(target=producer)
         t.start()
-        time.sleep(0.02)
+        wait_until(lambda: chan.waiting_threads == 1)
         assert not unblocked
         chan.get(inp, 0)
         chan.consume(inp, 0)  # consume + GC frees the slot
@@ -74,7 +73,7 @@ class TestBlockingPut:
 
 
 class TestPoison:
-    def test_poison_wakes_blocked_getter(self):
+    def test_poison_wakes_blocked_getter(self, wait_until):
         chan = ThreadedChannel("c")
         inp = chan.attach_input("q")
         seen = []
@@ -87,7 +86,7 @@ class TestPoison:
 
         t = threading.Thread(target=consumer)
         t.start()
-        time.sleep(0.02)
+        wait_until(lambda: chan.waiting_threads == 1)
         chan.poison()
         t.join(timeout=5.0)
         assert seen == ["poisoned"]
