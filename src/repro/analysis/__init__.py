@@ -1,0 +1,56 @@
+"""Static analysis & concurrency checking for schedules, graphs and STM.
+
+Four passes, one report model:
+
+1. **Graph lint** (:func:`lint_graph`) — structural rules ``Gxxx``:
+   cycles, dangling channels, unreachable tasks, data-parallel
+   consistency.
+2. **Schedule verification** (:func:`verify_solution`,
+   :func:`verify_schedule_table`, :func:`verify_shape_table`) — rules
+   ``Sxxx``: placement legality, precedence feasibility, independent
+   re-derivation of the claimed latency L, table totality and failover
+   coverage.
+3. **STM protocol analysis** (:func:`check_stm`) — rules ``Pxxx``:
+   wait-for deadlock cycles, capacity vs in-flight items, consume leaks,
+   born-consumed ``try_get`` hazards.
+4. **Dynamic race/deadlock detection** (:class:`RaceChecker`) — rules
+   ``Rxxx``: a vector-clock happens-before checker threaded through the
+   live runtime via the ``analysis=`` hook.
+
+Passes 1-3 are wired into :meth:`ScheduleTable.build` /
+:meth:`ShapeTable.build` / :class:`StaticExecutor` behind their opt-in
+``verify=`` parameter, and into CI as ``python -m repro.analysis
+--strict``.  See ``docs/TUTORIAL.md`` §12 for the workflow and the waiver
+syntax.
+"""
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity, Waiver
+from repro.analysis.graphlint import lint_graph
+from repro.analysis.race import RaceChecker, TrackedLock
+from repro.analysis.rules import RULES, Rule, get_rule
+from repro.analysis.schedverify import (
+    verify_schedule_table,
+    verify_shape_table,
+    verify_solution,
+)
+from repro.analysis.stmcheck import check_stm
+from repro.analysis.waivers import collect_waivers, parse_waiver_line
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "Waiver",
+    "Rule",
+    "RULES",
+    "get_rule",
+    "lint_graph",
+    "verify_solution",
+    "verify_schedule_table",
+    "verify_shape_table",
+    "check_stm",
+    "RaceChecker",
+    "TrackedLock",
+    "collect_waivers",
+    "parse_waiver_line",
+]

@@ -1,0 +1,11 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import signal
+
+from repro.analysis.cli import main
+
+# Die quietly when the report is piped into ``head`` & co.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""``python -m repro.analysis`` — analyze the repo's shipped artifacts.
+
+The default target set covers everything the repository itself ships:
+
+* the calibrated tracker graph (bare and with live kernels attached) and
+  every builder graph the examples use — pass 1 (graph lint) and pass 3
+  (STM protocol);
+* a schedule table for the tracker over its full state space — pass 2
+  (schedule verification, including transition totality);
+* a failover shape table — pass 2 coverage (``S012``).
+
+Pass 4 (the race detector) is dynamic and runs from the test suite and
+the ``analysis=`` runtime hook, not from this CLI.
+
+Waivers are collected from inline comments under ``src/``, ``examples/``
+and ``benchmarks/`` (see :mod:`repro.analysis.waivers`).  Exit status: 0
+when nothing gates, 1 when findings gate (ERROR, or WARNING under
+``--strict``), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.graphlint import lint_graph
+from repro.analysis.rules import RULES
+from repro.analysis.schedverify import verify_schedule_table, verify_shape_table
+from repro.analysis.stmcheck import check_stm
+from repro.analysis.waivers import collect_waivers
+
+__all__ = ["repo_report", "main"]
+
+
+def _lint_and_stm(graph, states, report: AnalysisReport) -> None:
+    lint_graph(graph, states=states, report=report)
+    check_stm(graph, report=report)
+
+
+def repo_report(schedules: bool = True, progress=None) -> AnalysisReport:
+    """Analyze the repository's own artifacts; returns the full report.
+
+    ``schedules=False`` skips the (slower) pass-2 table builds and checks
+    only graph structure and STM protocol.
+    """
+    from repro.apps.tracker.graph import TRACKER_STATES, build_tracker_graph
+    from repro.graph.builders import chain_graph, fork_join_graph, random_dag
+    from repro.state import State, StateSpace
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    report = AnalysisReport()
+
+    note("pass 1+3: tracker graph")
+    tracker = build_tracker_graph()
+    _lint_and_stm(tracker, TRACKER_STATES, report)
+
+    note("pass 1+3: live tracker graph (kernels attached)")
+    try:
+        from repro.apps.tracker.graph import attach_kernels
+        from repro.apps.video import VideoSource
+
+        live, _statics = attach_kernels(tracker, VideoSource(n_targets=2))
+        _lint_and_stm(live, TRACKER_STATES, report)
+    except Exception as exc:  # numpy-free installs still get the other passes
+        note(f"  skipped (kernels unavailable: {exc})")
+
+    note("pass 1+3: builder graphs")
+    demo_states = StateSpace.range("n_models", 1, 4)
+    _lint_and_stm(chain_graph([1.0, 2.0, 1.0]), demo_states, report)
+    _lint_and_stm(fork_join_graph(0.1, [1.0, 1.2, 0.8], 0.2), demo_states, report)
+    _lint_and_stm(random_dag(n_tasks=8, seed=7, dp_prob=0.3), demo_states, report)
+
+    if schedules:
+        from repro.core.optimal import OptimalScheduler
+        from repro.core.table import ScheduleTable
+        from repro.faults.failover import ShapeTable
+        from repro.sim.cluster import SINGLE_NODE_SMP, ClusterSpec
+        from repro.sim.network import CommModel
+
+        note("pass 2: tracker schedule table (8 states)")
+        cluster = SINGLE_NODE_SMP(4)
+        comm = CommModel(cluster)
+        table = ScheduleTable.build(
+            tracker, TRACKER_STATES, OptimalScheduler(cluster, comm=comm)
+        )
+        verify_schedule_table(
+            table, tracker, TRACKER_STATES, cluster, comm=comm, report=report
+        )
+
+        note("pass 2: failover shape table")
+        base = ClusterSpec(nodes=2, procs_per_node=2)
+        chain = chain_graph([1.0, 2.0, 1.0])
+        shapes = ShapeTable.build(chain, State(n_models=1), base)
+        verify_shape_table(shapes, chain, base, report=report)
+
+    return report
+
+
+def _repo_root() -> Path:
+    # src/repro/analysis/cli.py -> repo root is four levels up.
+    return Path(__file__).resolve().parents[3]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis of the repo's graphs, schedules and STM protocol.",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="gate on warnings as well as errors"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the machine-readable report to PATH"
+    )
+    parser.add_argument(
+        "--no-schedules",
+        action="store_true",
+        help="skip the schedule-table builds (structure and STM checks only)",
+    )
+    parser.add_argument(
+        "--no-waivers", action="store_true", help="ignore inline waiver comments"
+    )
+    parser.add_argument(
+        "--show-waived", action="store_true", help="list waived findings too"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress progress output"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.severity.name.lower():7s} {rule.name}")
+            print(f"      {rule.description}")
+        return 0
+
+    def note(msg: str) -> None:
+        if not args.quiet:
+            print(msg, file=sys.stderr)
+
+    report = repo_report(schedules=not args.no_schedules, progress=note)
+
+    if not args.no_waivers:
+        root = _repo_root()
+        roots = [root / "src", root / "examples", root / "benchmarks"]
+        waivers = collect_waivers(p for p in roots if p.exists())
+        n = report.apply_waivers(waivers)
+        if n:
+            note(f"applied {n} waiver(s)")
+
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n", encoding="utf-8")
+        note(f"report written to {args.json}")
+
+    print(report.summary(show_waived=args.show_waived))
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

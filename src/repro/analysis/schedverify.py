@@ -1,0 +1,322 @@
+"""Pass 2: schedule and table verification (rules ``S001``-``S012``).
+
+The verifier re-derives every claim a schedule artifact makes from first
+principles — placement legality against the cluster shape, precedence
+feasibility under the communication model, per-placement durations from
+the task cost models, and the latency ``L`` itself — so a passing report
+is a *certificate* that the off-line optimizer's output is real, not just
+internally consistent.
+
+Table-level checks add totality: every state of the state space has a
+schedule-table entry (``S010``), every pair of covered states has a
+resolvable transition (``S011``), and every single-node-failure shape has
+a failover entry (``S012``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.analysis.findings import AnalysisReport
+from repro.core.optimal import ScheduleSolution
+from repro.core.table import ScheduleTable
+from repro.core.transition import DrainTransition, TransitionEffect, TransitionPolicy
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommModel
+from repro.state import State
+
+__all__ = ["verify_solution", "verify_schedule_table", "verify_shape_table"]
+
+_EPS = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def _expected_duration(
+    graph: TaskGraph, cluster: ClusterSpec, placement, state: State
+) -> Optional[float]:
+    """Model duration of ``placement``: variant duration over node speed.
+
+    Returns None when the variant label is unknown (reported as S006 by the
+    caller).
+    """
+    task = graph.task(placement.task)
+    for var in task.variants(state):
+        if var.label == placement.variant:
+            speed = cluster.node_speeds[cluster.node_of(placement.primary)]
+            return var.duration / speed
+    return None
+
+
+def verify_solution(
+    solution: ScheduleSolution,
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    location: str = "",
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Re-verify one :class:`ScheduleSolution` against graph + cluster.
+
+    ``comm`` must be the model the schedule was built with; ``None`` checks
+    precedence without communication delays (a weaker but still sound
+    check, since delays only tighten the constraint).
+    """
+    report = report if report is not None else AnalysisReport()
+    state = solution.state
+    sched = solution.iteration
+    loc = location or f"schedule:{sched.name}/state:{state!r}"
+
+    # S001 — task-set equality.
+    placed = {p.task for p in sched}
+    missing = sorted(set(graph.task_names) - placed)
+    extra = sorted(placed - set(graph.task_names))
+    if missing:
+        report.add("S001", loc, f"tasks never placed: {missing}")
+    if extra:
+        report.add("S001", loc, f"placed tasks unknown to the graph: {extra}")
+
+    # S002 — processor range; placements out of range are excluded from the
+    # geometric checks below (their node/speed is undefined).
+    n_procs = cluster.total_processors
+    in_range = []
+    for p in sched:
+        bad = [q for q in p.procs if not 0 <= q < n_procs]
+        if bad:
+            report.add(
+                "S002",
+                loc,
+                f"{p.task!r} uses processor(s) {bad} outside 0..{n_procs - 1}",
+            )
+        else:
+            in_range.append(p)
+
+    # S003 — exclusivity per processor.
+    by_proc: dict[int, list] = {}
+    for p in in_range:
+        for q in p.procs:
+            by_proc.setdefault(q, []).append(p)
+    for q, plist in sorted(by_proc.items()):
+        plist.sort(key=lambda p: p.start)
+        for a, b in zip(plist, plist[1:]):
+            if b.start < a.end - _EPS:
+                report.add(
+                    "S003",
+                    loc,
+                    f"processor {q}: {a.task!r} [{a.start:g},{a.end:g}) overlaps "
+                    f"{b.task!r} [{b.start:g},{b.end:g})",
+                )
+
+    # S004 — data-parallel placements stay inside one SMP node.
+    for p in in_range:
+        nodes = {cluster.node_of(q) for q in p.procs}
+        if len(nodes) > 1:
+            report.add(
+                "S004",
+                loc,
+                f"{p.task!r} ({p.variant}) spans nodes {sorted(nodes)} "
+                f"with procs {list(p.procs)}",
+            )
+
+    # S005 — precedence with communication delay.
+    for name in graph.task_names:
+        if name not in sched:
+            continue
+        v = sched.placement(name)
+        for pred in graph.predecessors(name):
+            if pred not in sched:
+                continue
+            u = sched.placement(pred)
+            delay = 0.0
+            if comm is not None:
+                try:
+                    nbytes = graph.comm_bytes(pred, name, state)
+                    delay = comm.transfer_time(nbytes, u.primary, v.primary)
+                except Exception:
+                    delay = 0.0  # size-model faults are pass-1 findings (G007)
+            if v.start < u.end + delay - _EPS:
+                report.add(
+                    "S005",
+                    loc,
+                    f"{name!r} starts at {v.start:g} but {pred!r} ends at "
+                    f"{u.end:g} (+{delay:g}s comm)",
+                )
+
+    # S006/S007 — re-derive durations from the cost model, then latency L.
+    rederived_latency = 0.0
+    rederivable = True
+    for p in in_range:
+        if p.task not in graph:
+            continue
+        expected = _expected_duration(graph, cluster, p, state)
+        if expected is None:
+            report.add(
+                "S006",
+                loc,
+                f"{p.task!r} claims variant {p.variant!r} which the cost "
+                f"model does not produce in {state!r}",
+            )
+            rederivable = False
+            continue
+        if not _close(expected, p.duration):
+            report.add(
+                "S006",
+                loc,
+                f"{p.task!r} ({p.variant}) lasts {p.duration:g}s but the "
+                f"cost model says {expected:g}s",
+            )
+        rederived_latency = max(rederived_latency, p.start + expected)
+    if rederivable and not _close(rederived_latency, solution.latency):
+        report.add(
+            "S007",
+            loc,
+            f"claimed latency L={solution.latency:g}s but re-derivation "
+            f"from the cost model gives {rederived_latency:g}s",
+        )
+
+    # S008 — the critical-path certificate: L can never beat the bound.
+    try:
+        bound = graph.critical_path(
+            state, use_best_variants=True, max_workers=cluster.procs_per_node
+        ) / max(cluster.node_speeds)
+    except Exception:
+        bound = 0.0  # graph-level faults are pass-1 findings
+    if solution.latency < bound - max(_EPS, 1e-9 * bound):
+        report.add(
+            "S008",
+            loc,
+            f"claimed latency {solution.latency:g}s is below the "
+            f"critical-path lower bound {bound:g}s",
+        )
+
+    # S009 — pipelined iterations must not collide, and the initiation
+    # interval can never beat the processor-capacity bound.
+    piped = solution.pipelined
+    try:
+        piped.validate_conflict_free()
+    except Exception as exc:
+        report.add("S009", loc, f"pipelined schedule self-collides: {exc}")
+    if piped.n_procs > 0:
+        area_bound = sched.busy_area() / piped.n_procs
+        if piped.period < area_bound - max(_EPS, 1e-9 * area_bound):
+            report.add(
+                "S009",
+                loc,
+                f"II={piped.period:g}s is below the capacity bound "
+                f"{area_bound:g}s ({piped.n_procs} procs)",
+            )
+    return report
+
+
+def verify_schedule_table(
+    table: ScheduleTable,
+    graph: TaskGraph,
+    space: Iterable[State],
+    cluster: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    policy: Optional[TransitionPolicy] = None,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Verify a full per-state table: every entry, totality, transitions."""
+    report = report if report is not None else AnalysisReport()
+    tloc = f"table:{graph.name}"
+    states = list(space)
+
+    # S010 — totality over the state space.
+    for state in states:
+        if state not in table:
+            report.add(
+                "S010",
+                f"{tloc}/state:{state!r}",
+                f"state {state!r} has no schedule-table entry",
+            )
+
+    # Per-entry certificates.
+    for state in table.states():
+        verify_solution(
+            table.lookup(state),
+            graph,
+            cluster,
+            comm=comm,
+            location=f"{tloc}/state:{state!r}",
+            report=report,
+        )
+
+    # S011 — every covered transition resolves to a sane effect.
+    policy = policy or DrainTransition()
+    for old in table.states():
+        for new in table.states():
+            if old == new:
+                continue
+            try:
+                effect = policy.effect(table.lookup(old), table.lookup(new))
+                if not isinstance(effect, TransitionEffect) or not math.isfinite(
+                    effect.stall
+                ):
+                    raise ValueError(f"policy produced {effect!r}")
+            except Exception as exc:
+                report.add(
+                    "S011",
+                    f"{tloc}/transition:{old!r}->{new!r}",
+                    f"transition {old!r} -> {new!r} unresolvable: {exc}",
+                )
+    return report
+
+
+def verify_shape_table(
+    table,
+    graph: TaskGraph,
+    base: ClusterSpec,
+    comm: Optional[CommModel] = None,
+    max_node_failures: int = 1,
+    proc_failures: bool = True,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Verify a :class:`~repro.faults.failover.ShapeTable` against its base.
+
+    Coverage (``S012``) is checked for every *node*-failure shape reachable
+    within ``max_node_failures`` — the failover contract — while entries
+    for processor-failure shapes are verified when present.
+    """
+    from repro.faults.failover import reachable_shapes
+
+    report = report if report is not None else AnalysisReport()
+    tloc = f"shapetable:{graph.name}"
+
+    node_shapes = reachable_shapes(base, max_node_failures, proc_failures=False)
+    all_shapes = reachable_shapes(base, max_node_failures, proc_failures)
+    by_key = {spec.shape_key(): spec for spec in all_shapes}
+
+    # S012 — failover coverage for every node-failure shape.
+    for spec in node_shapes:
+        if spec not in table:
+            report.add(
+                "S012",
+                f"{tloc}/shape:{spec!r}",
+                f"degraded shape {spec!r} has no failover entry",
+            )
+
+    # Per-entry certificates, against the same spec objects the builder
+    # enumerated (shape keys are node-order canonical; verifying against a
+    # reconstruction could permute nodes and misjudge locality).
+    for key in table:
+        spec = by_key.get(key)
+        if spec is None:
+            spec = ClusterSpec(
+                procs_by_node=[p for p, _s in key], node_speeds=[s for _p, s in key]
+            )
+        sol = table.lookup(spec)
+        shape = "+".join(str(p) for p, _s in key)
+        verify_solution(
+            sol,
+            graph,
+            spec,
+            comm=comm,
+            location=f"{tloc}/shape:[{shape}]/state:{sol.state!r}",
+            report=report,
+        )
+    return report

@@ -1,0 +1,218 @@
+"""Pass 3: Space-Time Memory protocol analysis (rules ``P001``-``P004``).
+
+STM channels are timestamp-indexed streams with optional capacity bounds;
+their failure modes are protocol-level, not structural: a bounded channel
+whose producer outruns a slow consumer blocks (back-pressure), items with
+no consumer are never garbage-collected (the STM collects an item only
+once every consumer consumed it), and non-blocking ``try_get`` silently
+misses items that arrive *born-consumed* when a sibling consumer has
+already skipped past them.
+
+This pass works on the declaration level (graph wiring plus, when given, a
+pipelined schedule that bounds how many items are in flight), so it runs
+off-line in microseconds — the dynamic complement is pass 4
+(:mod:`repro.analysis.race`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.findings import AnalysisReport
+from repro.core.optimal import ScheduleSolution
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["check_stm"]
+
+_EPS = 1e-9
+
+
+def _streaming_channels(graph: TaskGraph):
+    return [ch for ch in graph.channels if not ch.static]
+
+
+def _sccs(nodes: list[str], edges: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components (iterative Tarjan)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                out.append(comp)
+    return out
+
+
+def check_stm(
+    graph: TaskGraph,
+    solution: Optional[ScheduleSolution] = None,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Analyze the STM protocol implied by ``graph`` (and optionally a schedule).
+
+    Without a ``solution`` only the wiring-level rules run (wait cycles,
+    consume leaks, born-consumed hazards); with one, the schedule bounds
+    each channel's in-flight item count and ``P002`` checks it against the
+    declared capacity.
+    """
+    report = report if report is not None else AnalysisReport()
+    loc = f"graph:{graph.name}"
+    streaming = _streaming_channels(graph)
+
+    # -- wait-for graph: get-waits (consumer -> producer) plus capacity
+    # back-pressure (producer -> consumer, bounded channels only).
+    edges: dict[str, set[str]] = {t.name: set() for t in graph.tasks}
+    edge_channels: dict[tuple[str, str], set[str]] = {}
+    for ch in streaming:
+        prods = [t.name for t in graph.producers(ch.name)]
+        cons = [t.name for t in graph.consumers(ch.name)]
+        for p in prods:
+            for c in cons:
+                edges[c].add(p)
+                edge_channels.setdefault((c, p), set()).add(ch.name)
+                if ch.capacity is not None:
+                    edges[p].add(c)
+                    edge_channels.setdefault((p, c), set()).add(ch.name)
+
+    # P001 — a cycle whose waits span more than one channel can deadlock.
+    # The single-channel producer<->consumer 2-cycle on a bounded channel
+    # is ordinary flow control and is excluded.
+    for comp in _sccs(list(edges), edges):
+        if len(comp) < 2:
+            continue
+        members = set(comp)
+        channels: set[str] = set()
+        for (a, b), chs in edge_channels.items():
+            if a in members and b in members:
+                channels.update(chs)
+        if len(channels) >= 2:
+            report.add(
+                "P001",
+                f"{loc}/tasks:{'+'.join(sorted(comp))}",
+                f"tasks {sorted(comp)} wait on each other through channels "
+                f"{sorted(channels)}; bounded back-pressure plus get-waits "
+                "can deadlock",
+            )
+
+    # P002 — schedule-derived in-flight count vs declared capacity.  Item k
+    # of a channel is live from its producer's end until the last
+    # consumer's end, k*II later for each successive timestamp.
+    if solution is not None:
+        sched = solution.iteration
+        period = solution.period
+        if period > _EPS:
+            for ch in streaming:
+                if ch.capacity is None:
+                    continue
+                prods = [t.name for t in graph.producers(ch.name)]
+                cons = [t.name for t in graph.consumers(ch.name)]
+                if not prods or not cons:
+                    continue
+                if any(t not in sched for t in (*prods, *cons)):
+                    continue  # malformed schedules are pass-2 findings
+                produced = min(sched.placement(p).end for p in prods)
+                drained = max(sched.placement(c).end for c in cons)
+                in_flight = int((drained - produced + _EPS) / period) + 1
+                if in_flight > ch.capacity:
+                    report.add(
+                        "P002",
+                        f"{loc}/channel:{ch.name}",
+                        f"schedule keeps {in_flight} items of {ch.name!r} in "
+                        f"flight (produced {produced:g}s, drained {drained:g}s, "
+                        f"II={period:g}s) but capacity is {ch.capacity}",
+                    )
+
+    # P003 — produced-never-consumed channels leak items forever.  Terminal
+    # outputs of sink tasks are exempt: every runtime drains those with
+    # implicit collectors (they are the application's results).
+    for ch in streaming:
+        prods = graph.producers(ch.name)
+        if not prods or graph.consumers(ch.name):
+            continue
+        producer = prods[0]
+        other_consumed = [
+            out
+            for out in producer.outputs
+            if out != ch.name
+            and not graph.channel(out).static
+            and graph.consumers(out)
+        ]
+        if other_consumed:
+            report.add(
+                "P003",
+                f"{loc}/channel:{ch.name}",
+                f"channel {ch.name!r} is produced by {producer.name!r} but "
+                "consumed by nothing, while its sibling outputs "
+                f"{other_consumed} are consumed; its items are never "
+                "garbage-collected",
+            )
+
+    # P004 — concurrent consumers make born-consumed try_get misses
+    # possible.  Two consumers are concurrent when neither precedes the
+    # other in the streaming precedence relation.
+    try:
+        order = graph.topo_order()
+    except Exception:
+        return report  # cyclic graphs are pass-1 findings (G001)
+    ancestors: dict[str, set[str]] = {}
+    for name in order:
+        anc: set[str] = set()
+        for p in graph.predecessors(name):
+            anc.add(p)
+            anc |= ancestors[p]
+        ancestors[name] = anc
+    for ch in streaming:
+        cons = [t.name for t in graph.consumers(ch.name)]
+        flagged = False
+        for i, a in enumerate(cons):
+            for b in cons[i + 1 :]:
+                if a not in ancestors[b] and b not in ancestors[a]:
+                    report.add(
+                        "P004",
+                        f"{loc}/channel:{ch.name}",
+                        f"consumers {a!r} and {b!r} of {ch.name!r} are "
+                        "concurrent; a faster one can consume past a "
+                        "timestamp the other has not seen, so try_get "
+                        "there returns born-consumed misses",
+                    )
+                    flagged = True
+                    break
+            if flagged:
+                break
+    return report

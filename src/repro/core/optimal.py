@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.enumerate import EnumerationResult, enumerate_schedules
+from repro.errors import InfeasibleSchedule
 from repro.core.pipeline import best_pipelined
 from repro.core.schedule import IterationSchedule, PipelinedSchedule
 from repro.graph.taskgraph import TaskGraph
@@ -94,7 +95,10 @@ def solution_from_enumeration(
         if best is None or piped.period < best.period - _EPS:
             best = piped
             best_iter = candidate
-    assert best is not None and best_iter is not None
+    if best is None or best_iter is None:
+        raise InfeasibleSchedule(
+            f"enumeration for {result.state!r} produced no schedules to pipeline"
+        )
     return ScheduleSolution(
         state=result.state,
         iteration=best_iter,

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
-from repro.errors import RegimeError
+from repro.errors import RegimeError, ScheduleLookupError
 from repro.core.optimal import OptimalScheduler, ScheduleSolution
 from repro.core.regime import RegimeChange, RegimeDetector
 from repro.core.transition import DrainTransition, TransitionEffect, TransitionPolicy
@@ -55,6 +55,7 @@ class ScheduleTable:
         progress: Optional[Callable[[State, ScheduleSolution], None]] = None,
         parallel: Optional[int] = None,
         cache=None,
+        verify: bool = False,
     ) -> "ScheduleTable":
         """Run the off-line optimizer for every state in ``space``.
 
@@ -69,6 +70,11 @@ class ScheduleTable:
             Optional :class:`~repro.core.cache.ScheduleCache`; states
             whose solve request digests to a cached entry skip the
             branch-and-bound entirely, and fresh solves are stored back.
+        verify:
+            Run the static analyzer (:mod:`repro.analysis` passes 1-3:
+            graph lint, schedule certificates, table totality, STM
+            protocol) over the finished table and raise
+            :class:`~repro.errors.AnalysisError` on any ERROR finding.
         """
         from repro.core.parallel import solve_many  # deferred: avoids import cycle
 
@@ -95,17 +101,44 @@ class ScheduleTable:
         if progress is not None:
             for state in states:
                 progress(state, solutions[state])
-        return cls(solutions)
+        table = cls(solutions)
+        if verify:
+            table.verify(graph, space, scheduler.cluster, comm=scheduler.comm)
+        return table
+
+    def verify(self, graph, space, cluster, comm=None) -> None:
+        """Run analysis passes 1-3 over this table; raise on ERROR findings.
+
+        Checks the graph's structure, every per-state schedule certificate
+        (placement legality, precedence, re-derived latency L), table
+        totality over ``space``, transition resolvability, and the STM
+        protocol under each schedule.  Raises
+        :class:`~repro.errors.AnalysisError` carrying the full
+        :class:`~repro.analysis.findings.AnalysisReport` when any ERROR
+        finding is present.
+        """
+        # Deferred import: repro.analysis imports this module's collaborators.
+        from repro.analysis import check_stm, lint_graph, verify_schedule_table
+        from repro.errors import AnalysisError
+
+        report = lint_graph(graph, states=space)
+        verify_schedule_table(self, graph, space, cluster, comm=comm, report=report)
+        for state in self.states():
+            check_stm(graph, self.lookup(state), report=report)
+        if not report.ok():
+            raise AnalysisError(report)
 
     def lookup(self, state: State) -> ScheduleSolution:
-        """The pre-computed solution for ``state`` (exact match)."""
+        """The pre-computed solution for ``state`` (exact match).
+
+        Raises :class:`~repro.errors.ScheduleLookupError` (a
+        :class:`~repro.errors.RegimeError`) naming the missing state and
+        the covered states on a miss.
+        """
         try:
             return self._solutions[state]
         except KeyError:
-            raise RegimeError(
-                f"no pre-computed schedule for {state}; table covers "
-                f"{sorted(map(repr, self._solutions))}"
-            ) from None
+            raise ScheduleLookupError(state, self._solutions) from None
 
     def __contains__(self, state: State) -> bool:
         return state in self._solutions

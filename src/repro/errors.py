@@ -139,6 +139,35 @@ class RegimeError(ScheduleError):
     """Invalid regime/state-table configuration or lookup."""
 
 
+class ScheduleLookupError(RegimeError, KeyError):
+    """A schedule-table look-up missed: no entry for the requested state.
+
+    Carries the offending state and the states the table does cover, so
+    on-line components (and the static analyzer's totality pass) can name
+    the gap precisely instead of surfacing a bare ``KeyError``.
+    """
+
+    def __init__(self, state, available=()):
+        self.state = state
+        self.available = list(available)
+        covered = ", ".join(map(repr, self.available)) or "nothing"
+        super().__init__(
+            f"no pre-computed schedule for {state!r}; table covers [{covered}]"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return Exception.__str__(self)
+
+
+class ExecutorConfigError(ReproError):
+    """An executor was constructed or invoked with inconsistent settings.
+
+    Raised instead of a bare assertion for misconfigurations such as an
+    unknown runtime substrate, a schedule needing more processors than the
+    cluster has, or a non-positive iteration count.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Decomposition
 # ---------------------------------------------------------------------------
@@ -193,6 +222,26 @@ class ShapeUnschedulable(FaultError):
     """No pre-computed schedule covers the degraded cluster shape."""
 
 
+class ShapeLookupError(ShapeUnschedulable, KeyError):
+    """A shape-table look-up missed: no entry for the degraded shape.
+
+    Carries the offending shape (a :class:`~repro.sim.cluster.ClusterSpec`)
+    and the number of covered shapes, naming the gap the failover table
+    left open.
+    """
+
+    def __init__(self, shape, covered: int = 0):
+        self.shape = shape
+        self.covered = covered
+        super().__init__(
+            f"no pre-computed schedule for shape {shape!r}; "
+            f"table covers {covered} shapes"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it readable
+        return Exception.__str__(self)
+
+
 # ---------------------------------------------------------------------------
 # Experiments
 # ---------------------------------------------------------------------------
@@ -200,3 +249,23 @@ class ShapeUnschedulable(FaultError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """A ``verify=`` gate found error-severity findings in an artifact.
+
+    Carries the full :class:`~repro.analysis.findings.AnalysisReport` so
+    callers can inspect every finding, not just the summary message.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        errors = [f for f in report.findings if f.severity.name == "ERROR"]
+        head = "; ".join(f"{f.rule} {f.location}: {f.message}" for f in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(f"static analysis found {len(errors)} error(s): {head}{more}")

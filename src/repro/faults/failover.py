@@ -26,7 +26,12 @@ from typing import Callable, Iterator, Optional
 
 from repro.core.optimal import OptimalScheduler, ScheduleSolution
 from repro.core.transition import DrainTransition, TransitionEffect, TransitionPolicy
-from repro.errors import InfeasibleSchedule, ScheduleError, ShapeUnschedulable
+from repro.errors import (
+    InfeasibleSchedule,
+    ScheduleError,
+    ShapeLookupError,
+    ShapeUnschedulable,
+)
 from repro.faults.detect import Detection
 from repro.faults.view import ClusterView
 from repro.graph.taskgraph import TaskGraph
@@ -104,6 +109,7 @@ class ShapeTable:
         progress: Optional[Callable[[ClusterSpec, ScheduleSolution], None]] = None,
         parallel: Optional[int] = None,
         cache=None,
+        verify: bool = False,
     ) -> "ShapeTable":
         """Run the Figure 6 optimizer once per reachable degraded shape.
 
@@ -115,6 +121,10 @@ class ShapeTable:
         (``None``/``1`` = in-process; results are identical either way),
         and ``cache`` is an optional
         :class:`~repro.core.cache.ScheduleCache` consulted per shape.
+        ``verify`` runs the static analyzer (passes 1-3) over the finished
+        table — per-shape schedule certificates plus failover coverage for
+        every node-failure shape — and raises
+        :class:`~repro.errors.AnalysisError` on any ERROR finding.
         """
         from repro.core.parallel import solve_many  # deferred: avoids import cycle
 
@@ -155,17 +165,63 @@ class ShapeTable:
             raise ShapeUnschedulable(
                 f"no reachable shape of {base!r} can run the application"
             )
-        return cls(solutions)
+        table = cls(solutions)
+        if verify:
+            table.verify(
+                graph,
+                base,
+                max_node_failures=max_node_failures,
+                proc_failures=proc_failures,
+            )
+        return table
+
+    def verify(
+        self,
+        graph: TaskGraph,
+        base: ClusterSpec,
+        comm=None,
+        max_node_failures: int = 1,
+        proc_failures: bool = True,
+    ) -> None:
+        """Run analysis passes 1-3 over this table; raise on ERROR findings.
+
+        Checks graph structure, every per-shape schedule certificate, the
+        STM protocol under each schedule, and failover coverage for all
+        node-failure shapes within ``max_node_failures``.  Raises
+        :class:`~repro.errors.AnalysisError` with the full report when any
+        ERROR finding is present.
+        """
+        # Deferred import: repro.analysis imports this module.
+        from repro.analysis import check_stm, lint_graph, verify_shape_table
+        from repro.errors import AnalysisError
+
+        states = {sol.state for sol in self.solutions()}
+        report = lint_graph(graph, states=sorted(states, key=repr))
+        verify_shape_table(
+            self,
+            graph,
+            base,
+            comm=comm,
+            max_node_failures=max_node_failures,
+            proc_failures=proc_failures,
+            report=report,
+        )
+        for sol in self.solutions():
+            check_stm(graph, sol, report=report)
+        if not report.ok():
+            raise AnalysisError(report)
 
     def lookup(self, shape: ClusterSpec) -> ScheduleSolution:
-        """The pre-computed solution for a degraded shape (canonical match)."""
+        """The pre-computed solution for a degraded shape (canonical match).
+
+        Raises :class:`~repro.errors.ShapeLookupError` (a
+        :class:`~repro.errors.ShapeUnschedulable`) naming the uncovered
+        shape on a miss.
+        """
         try:
             return self._solutions[shape.shape_key()]
         except KeyError:
-            raise ShapeUnschedulable(
-                f"no pre-computed schedule for shape {shape!r}; table covers "
-                f"{len(self._solutions)} shapes"
-            ) from None
+            raise ShapeLookupError(shape, covered=len(self._solutions)) from None
 
     def __contains__(self, shape: ClusterSpec) -> bool:
         return shape.shape_key() in self._solutions

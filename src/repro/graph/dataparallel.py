@@ -164,7 +164,8 @@ def expansion_latency(
     """
     expanded = expand_data_parallel(graph, task_name, workers)
     spec = graph.task(task_name).data_parallel
-    assert spec is not None
+    if spec is None:
+        raise DecompositionError(f"task {task_name!r} has no data-parallel spec")
     worker_times = [
         expanded.task(f"{task_name}.w{i}").cost(state) for i in range(workers)
     ]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import ReproError
+from repro.errors import ExecutorConfigError, ReproError
 from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph
 from repro.runtime.hub import build_hubs
@@ -86,7 +86,7 @@ class DynamicExecutor:
         obs: Optional["Observability"] = None,
     ) -> None:
         if input_policy not in ("latest", "inorder"):
-            raise ReproError(f"unknown input policy {input_policy!r}")
+            raise ExecutorConfigError(f"unknown input policy {input_policy!r}")
         graph.validate()
         self.graph = graph
         self.state = state
@@ -109,7 +109,7 @@ class DynamicExecutor:
     ) -> ExecutionResult:
         """Simulate up to ``horizon`` seconds (and/or ``max_timestamps`` frames)."""
         if horizon <= 0:
-            raise ReproError(f"horizon must be positive, got {horizon}")
+            raise ExecutorConfigError(f"horizon must be positive, got {horizon}")
         sim = Simulator()
         trace = TraceRecorder()
         hubs = build_hubs(sim, self.graph, trace, self.capacity_override, obs=self.obs)

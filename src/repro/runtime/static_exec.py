@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Union
 
-from repro.errors import ReproError
+from repro.errors import ExecutorConfigError
 from repro.core.optimal import ScheduleSolution
 from repro.core.schedule import PipelinedSchedule, Placement
 from repro.graph.taskgraph import TaskGraph
@@ -37,6 +37,7 @@ from repro.sim.trace import ExecSpan, TraceRecorder
 from repro.state import State
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.analysis.race import RaceChecker
     from repro.faults.runner import FaultRuntime
     from repro.obs import Observability
 
@@ -89,6 +90,16 @@ class StaticExecutor:
         Values for static configuration channels, required by the live
         substrates (e.g. ``{"color_model": models}``); the simulation
         substrate fills statics with a stub and ignores this.
+    verify:
+        Run analysis passes 1-3 (graph lint, schedule certificate, STM
+        protocol) over the inputs at construction time and raise
+        :class:`~repro.errors.AnalysisError` on any ERROR finding —
+        misconfigurations surface before anything executes.
+    analysis:
+        Optional :class:`~repro.analysis.race.RaceChecker` (pass 4).
+        Threaded runtime only: channels swap their lock for a tracked one
+        and report puts/gets, so the checker sees every happens-before
+        edge; read its findings with ``analysis.report()`` after the run.
     """
 
     def __init__(
@@ -103,34 +114,44 @@ class StaticExecutor:
         obs: Optional["Observability"] = None,
         runtime: str = "sim",
         static_inputs: Optional[dict] = None,
+        verify: bool = False,
+        analysis: Optional["RaceChecker"] = None,
     ) -> None:
         graph.validate()
         if runtime not in ("sim", "threaded", "process"):
-            raise ReproError(
+            raise ExecutorConfigError(
                 f"unknown runtime {runtime!r}; pick sim, threaded or process"
             )
         if faults is not None and contended:
-            raise ReproError(
+            raise ExecutorConfigError(
                 "contended transfers are not supported under fault injection"
             )
         if runtime != "sim":
             from repro.runtime.process import ProcessFaultPlan
 
             if contended:
-                raise ReproError(
+                raise ExecutorConfigError(
                     "contended transfers exist only on the sim substrate"
                 )
             if faults is not None and not (
                 runtime == "process" and isinstance(faults, ProcessFaultPlan)
             ):
-                raise ReproError(
+                raise ExecutorConfigError(
                     "live substrates take faults as a ProcessFaultPlan "
                     "(process runtime only)"
                 )
+        if analysis is not None and runtime != "threaded":
+            raise ExecutorConfigError(
+                "the race checker (analysis=) instruments real threads; "
+                "it requires runtime='threaded'"
+            )
+        solution = schedule if isinstance(schedule, ScheduleSolution) else None
         if isinstance(schedule, ScheduleSolution):
             schedule = schedule.pipelined
+        if verify:
+            self._verify_startup(graph, state, cluster, schedule, solution, comm)
         if schedule.n_procs > cluster.total_processors:
-            raise ReproError(
+            raise ExecutorConfigError(
                 f"schedule needs {schedule.n_procs} processors, cluster has "
                 f"{cluster.total_processors}"
             )
@@ -144,11 +165,37 @@ class StaticExecutor:
         self.obs = obs
         self.runtime = runtime
         self.static_inputs = dict(static_inputs or {})
+        self.analysis = analysis
+
+    @staticmethod
+    def _verify_startup(graph, state, cluster, schedule, solution, comm) -> None:
+        """Opt-in ``verify=`` gate: analysis passes 1-3 on this executor's
+        inputs; raises :class:`~repro.errors.AnalysisError` on ERROR
+        findings before anything runs."""
+        # Deferred import: repro.analysis imports schedule/graph modules.
+        from repro.analysis import check_stm, lint_graph, verify_solution
+        from repro.errors import AnalysisError
+
+        if solution is None:
+            # A bare PipelinedSchedule carries no provenance; wrap it so
+            # the verifier can re-derive its claims all the same.
+            solution = ScheduleSolution(
+                state=state,
+                iteration=schedule.iteration,
+                pipelined=schedule,
+                alternatives=0,
+                explored=0,
+            )
+        report = lint_graph(graph, states=[state])
+        verify_solution(solution, graph, cluster, comm=comm, report=report)
+        check_stm(graph, solution, report=report)
+        if not report.ok():
+            raise AnalysisError(report)
 
     def run(self, iterations: int) -> ExecutionResult:
         """Execute ``iterations`` timestamps and drain."""
         if iterations < 1:
-            raise ReproError(f"iterations must be >= 1, got {iterations}")
+            raise ExecutorConfigError(f"iterations must be >= 1, got {iterations}")
         if self.runtime != "sim":
             return self._run_live(iterations)
         if self.faults is not None:
@@ -370,7 +417,7 @@ class StaticExecutor:
 
             res = ThreadedRuntime(
                 self.graph, self.state, static_inputs=self.static_inputs,
-                obs=self.obs,
+                obs=self.obs, analysis=self.analysis,
             ).run(iterations)
             for (task, ts, start, end, proc) in res.spans:
                 trace.record_span(ExecSpan(proc, task, ts, start, end))

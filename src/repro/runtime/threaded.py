@@ -20,12 +20,13 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
-from repro.errors import ReproError
+from repro.errors import ExecutorConfigError, ReproError
 from repro.graph.taskgraph import TaskGraph
 from repro.state import State
 from repro.stm.threaded import ChannelPoisoned, ThreadedChannel
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.analysis.race import RaceChecker
     from repro.obs import Observability
 
 __all__ = ["ThreadedResult", "ThreadedRuntime"]
@@ -83,6 +84,11 @@ class ThreadedRuntime:
         and channel traffic is counted; this is the live-measurement path
         behind kernel calibration, so the hooks are deliberately thin —
         the ``obs`` experiment reports the measured overhead.
+    analysis:
+        Optional :class:`~repro.analysis.race.RaceChecker`.  Channels are
+        created with tracked locks and message edges, and thread
+        start/join add fork/adopt edges, so a clean run reports zero
+        races; read findings with ``analysis.report()`` after :meth:`run`.
     """
 
     def __init__(
@@ -92,6 +98,7 @@ class ThreadedRuntime:
         static_inputs: Optional[dict[str, Any]] = None,
         op_timeout: float = 60.0,
         obs: Optional["Observability"] = None,
+        analysis: Optional["RaceChecker"] = None,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -99,9 +106,10 @@ class ThreadedRuntime:
         self.static_inputs = dict(static_inputs or {})
         self.op_timeout = op_timeout
         self.obs = obs
+        self.analysis = analysis
         for spec in graph.channels:
             if spec.static and spec.name not in self.static_inputs:
-                raise ReproError(
+                raise ExecutorConfigError(
                     f"static channel {spec.name!r} needs a value in static_inputs"
                 )
 
@@ -112,10 +120,13 @@ class ThreadedRuntime:
         for demos; keep 0.0 in tests).
         """
         if timestamps < 1:
-            raise ReproError(f"timestamps must be >= 1, got {timestamps}")
+            raise ExecutorConfigError(f"timestamps must be >= 1, got {timestamps}")
         obs = self.obs
+        checker = self.analysis
         channels: dict[str, ThreadedChannel] = {
-            spec.name: ThreadedChannel(spec.name, capacity=spec.capacity, obs=obs)
+            spec.name: ThreadedChannel(
+                spec.name, capacity=spec.capacity, obs=obs, analysis=checker
+            )
             for spec in self.graph.channels
         }
         task_index = {t.name: i for i, t in enumerate(self.graph.tasks)}
@@ -231,14 +242,29 @@ class ThreadedRuntime:
             except BaseException as exc:  # noqa: BLE001
                 record_error(exc)
 
-        threads = [
-            threading.Thread(target=task_body, args=(t,), name=f"task:{t.name}", daemon=True)
-            for t in self.graph.tasks
-        ]
-        threads += [
-            threading.Thread(target=collector_body, args=(ch,), name=f"collect:{ch}", daemon=True)
-            for ch in terminal
-        ]
+        # Fork/join happens-before edges for the race checker: the main
+        # thread forks a clock token per thread (so pre-start setup — e.g.
+        # static puts — happens-before everything the thread does) and
+        # adopts each thread's end token after join (so post-join reads of
+        # outputs/stats happen-after everything the thread did).
+        end_tokens: list = []
+        end_lock = threading.Lock()
+
+        def spawn(name: str, body, *args) -> threading.Thread:
+            token = checker.fork() if checker is not None else None
+
+            def wrapper() -> None:
+                if token is not None:
+                    checker.adopt(token)
+                body(*args)
+                if checker is not None:
+                    with end_lock:
+                        end_tokens.append(checker.fork())
+
+            return threading.Thread(target=wrapper, name=name, daemon=True)
+
+        threads = [spawn(f"task:{t.name}", task_body, t) for t in self.graph.tasks]
+        threads += [spawn(f"collect:{ch}", collector_body, ch) for ch in terminal]
         t0 = t0_box[0] = _time.perf_counter()
         for th in threads:
             th.start()
@@ -252,6 +278,10 @@ class ThreadedRuntime:
             raise ReproError(f"threads did not finish: {alive}")
         if errors:
             raise errors[0]
+        if checker is not None:
+            with end_lock:
+                for token in end_tokens:
+                    checker.adopt(token)
         completion: dict[int, float] = {}
         if completion_raw:
             common = set.intersection(*(set(d) for d in completion_raw.values()))

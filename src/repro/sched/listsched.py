@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.schedule import IterationSchedule, Placement
+from repro.errors import InfeasibleSchedule
 from repro.graph.taskgraph import TaskGraph
 from repro.sim.cluster import ClusterSpec
 from repro.sim.network import CommModel
@@ -104,7 +105,11 @@ def list_schedule(
                     cand = Placement(n, chosen, est, dur, variant=var.label)
                     if best is None or cand.end < best.end - 1e-12:
                         best = cand
-        assert best is not None
+        if best is None:
+            raise InfeasibleSchedule(
+                f"no node can host task {n!r} in {state!r} "
+                f"(narrowest variant wider than every node)"
+            )
         placements[n] = best
         for p in best.procs:
             free[p] = best.end

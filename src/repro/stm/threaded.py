@@ -31,6 +31,7 @@ from repro.stm.connection import Connection
 from repro.stm.gc import GCStats, collect_channel
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.analysis.race import RaceChecker
     from repro.obs import Observability
 
 __all__ = ["ChannelPoisoned", "ThreadedChannel"]
@@ -50,6 +51,13 @@ class ThreadedChannel:
     :class:`~repro.obs.Observability` bundle, stamped with its wall
     clock; the call happens *outside* the channel lock so telemetry never
     extends the critical section.
+
+    ``analysis`` optionally threads a
+    :class:`~repro.analysis.race.RaceChecker` through the channel: the
+    internal mutex becomes a tracked lock (so every critical section —
+    including the release/re-acquire inside ``Condition.wait`` — reports
+    happens-before edges), channel state accesses report as reads/writes,
+    and each put publishes a message edge its get joins.
     """
 
     def __init__(
@@ -57,12 +65,18 @@ class ThreadedChannel:
         name: str,
         capacity: Optional[int] = None,
         obs: Optional["Observability"] = None,
+        analysis: Optional["RaceChecker"] = None,
     ) -> None:
         self._chan = STMChannel(name, capacity=capacity)
-        self._lock = threading.Lock()
+        if analysis is not None:
+            self._lock = analysis.tracked_lock(f"lock:channel:{name}")
+        else:
+            self._lock = threading.Lock()
         self._changed = threading.Condition(self._lock)
         self._poisoned = False
         self._obs = obs
+        self._analysis = analysis
+        self._race_loc = f"channel:{name}"
         self.gc_stats = GCStats()
 
     def _observe(self, kind: str, ts: int, task: str) -> None:
@@ -107,6 +121,9 @@ class ThreadedChannel:
                 if not self._chan.is_full:
                     self._chan.put(conn, ts, value, size=size,
                                    time=_time.perf_counter())
+                    if self._analysis is not None:
+                        self._analysis.on_write(self._race_loc)
+                        self._analysis.on_put(self.name, ts)
                     self._changed.notify_all()
                     break
                 if not self._changed.wait(timeout):
@@ -128,6 +145,9 @@ class ThreadedChannel:
                     raise ChannelPoisoned(f"channel {self.name!r} poisoned")
                 try:
                     got = self._chan.get(conn, ts)
+                    if self._analysis is not None:
+                        self._analysis.on_read(self._race_loc)
+                        self._analysis.on_get(self.name, got[0])
                     break
                 except ItemUnavailable:
                     if not self._changed.wait(timeout):
@@ -146,16 +166,23 @@ class ThreadedChannel:
         identically on every substrate.
         """
         with self._lock:
+            if self._analysis is not None:
+                self._analysis.on_read(self._race_loc)
             try:
-                return self._chan.get(conn, ts)
+                got = self._chan.get(conn, ts)
             except (ItemConsumed, ItemUnavailable):
                 return None
+            if self._analysis is not None:
+                self._analysis.on_get(self.name, got[0])
+            return got
 
     def consume(self, conn: Connection, ts: int) -> None:
         """Mark ``ts`` consumed and garbage-collect; wakes blocked putters."""
         with self._changed:
             self._chan.consume(conn, ts)
             collect_channel(self._chan, self.gc_stats)
+            if self._analysis is not None:
+                self._analysis.on_write(self._race_loc)
             self._changed.notify_all()
         self._observe("consume", ts, conn.task)
 
@@ -164,6 +191,8 @@ class ThreadedChannel:
         with self._changed:
             self._poisoned = True
             self._chan.close()
+            if self._analysis is not None:
+                self._analysis.on_write(self._race_loc)
             self._changed.notify_all()
 
     # -- inspection ---------------------------------------------------------------

@@ -1,0 +1,145 @@
+"""Report mechanics: severities, waivers, gating, serialization, catalog."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisReport, Finding, Severity, Waiver
+from repro.analysis.rules import RULES, get_rule
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestCatalog:
+    def test_ids_well_formed(self):
+        for rid, rule in RULES.items():
+            assert re.fullmatch(r"[GSPR]\d{3}", rid)
+            assert rule.id == rid
+
+    def test_every_rule_documented(self):
+        for rule in RULES.values():
+            assert rule.name and rule.description and rule.hint
+
+    def test_names_unique(self):
+        names = [r.name for r in RULES.values()]
+        assert len(names) == len(set(names))
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(ValueError, match="unknown analysis rule"):
+            get_rule("X999")
+
+    def test_every_rule_has_a_seeded_fixture(self):
+        """Each cataloged rule id must appear in some test in this suite."""
+        here = Path(__file__).parent
+        corpus = "".join(
+            f.read_text(encoding="utf-8")
+            for f in here.glob("test_*.py")
+            if f.name != Path(__file__).name
+        )
+        missing = [rid for rid in RULES if rid not in corpus]
+        assert not missing, f"rules without a test fixture: {missing}"
+
+
+class TestReport:
+    def test_add_uses_rule_severity_and_hint(self):
+        rep = AnalysisReport()
+        f = rep.add("G003", "graph:g/channel:c", "boom")
+        assert f.severity is Severity.ERROR
+        assert f.hint == get_rule("G003").hint
+
+    def test_add_severity_override(self):
+        rep = AnalysisReport()
+        f = rep.add("G010", "loc", "msg", severity=Severity.ERROR)
+        assert f.severity is Severity.ERROR
+
+    def test_add_unknown_rule(self):
+        with pytest.raises(ValueError):
+            AnalysisReport().add("Z000", "loc", "msg")
+
+    def test_gating_levels(self):
+        rep = AnalysisReport()
+        rep.add("P004", "loc", "info-level")  # INFO
+        assert rep.ok() and rep.ok(strict=True)
+        rep.add("G005", "loc", "warning-level")  # WARNING
+        assert rep.ok() and not rep.ok(strict=True)
+        rep.add("G003", "loc", "error-level")  # ERROR
+        assert not rep.ok() and not rep.ok(strict=True)
+
+    def test_active_sorts_worst_first(self):
+        rep = AnalysisReport()
+        rep.add("P004", "a", "m")
+        rep.add("G003", "b", "m")
+        rep.add("G005", "c", "m")
+        assert [f.severity for f in rep.active()] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_extend_merges(self):
+        a, b = AnalysisReport(), AnalysisReport()
+        a.add("G003", "x", "m")
+        b.add("G005", "y", "m")
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_counts_and_summary(self):
+        rep = AnalysisReport()
+        rep.add("G003", "loc", "m")
+        rep.add("G005", "loc", "m")
+        assert rep.counts() == {"error": 1, "warning": 1, "info": 0, "waived": 0}
+        assert "1 error(s), 1 warning(s)" in rep.summary()
+
+
+class TestWaivers:
+    def test_waiver_matches_rule_and_location_substring(self):
+        f = Finding("G005", Severity.WARNING, "graph:g/channel:tap", "m")
+        assert Waiver("G005", "channel:tap").matches(f)
+        assert not Waiver("G003", "channel:tap").matches(f)
+        assert not Waiver("G005", "channel:other").matches(f)
+
+    def test_apply_waivers_ungates(self):
+        rep = AnalysisReport()
+        rep.add("G003", "graph:g/channel:dead", "m")
+        assert not rep.ok()
+        n = rep.apply_waivers([Waiver("G003", "channel:dead", reason="known")])
+        assert n == 1
+        assert rep.ok(strict=True)
+        assert rep.waived()[0].waiver_reason == "known"
+        assert rep.counts()["waived"] == 1
+
+    def test_waived_stays_in_report_and_summary(self):
+        rep = AnalysisReport()
+        rep.add("G005", "graph:g/channel:tap", "m")
+        rep.apply_waivers([Waiver("G005", "channel:tap", reason="by design")])
+        assert "by design" in rep.summary(show_waived=True)
+        assert "G005" not in rep.summary(show_waived=False).splitlines()[0]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        rep = AnalysisReport()
+        rep.add("G003", "graph:g/channel:c", "msg")
+        rep.add("G005", "graph:g/channel:d", "msg2")
+        rep.apply_waivers([Waiver("G005", "channel:d", reason="ok")])
+        data = json.loads(rep.to_json())
+        assert data["schema_version"] == 1
+        back = AnalysisReport.from_dict(data)
+        assert [f.rule for f in back] == [f.rule for f in rep]
+        assert back.waived()[0].waiver_reason == "ok"
+        assert back.counts() == rep.counts()

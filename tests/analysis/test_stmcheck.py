@@ -1,0 +1,117 @@
+"""Pass 3 (STM protocol): wait cycles, capacity, leaks, born-consumed."""
+
+from __future__ import annotations
+
+from repro.analysis import Severity, check_stm
+from repro.core.optimal import OptimalScheduler
+from repro.graph.channel import ChannelSpec
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import SINGLE_NODE_SMP
+from repro.state import State
+
+
+def rules(report):
+    return {f.rule for f in report.findings}
+
+
+def test_p001_multi_channel_wait_cycle():
+    # A's put on bounded c1 back-pressures on B, while B's gets wait on A
+    # through both channels: a two-channel cycle that can deadlock if A
+    # fills c1 before producing c2.
+    g = TaskGraph("waits")
+    g.add_channel(ChannelSpec("c1", capacity=1))
+    g.add_channel(ChannelSpec("c2"))
+    g.add_task(Task("A", 1.0, outputs=["c1", "c2"]))
+    g.add_task(Task("B", 1.0, inputs=["c1", "c2"]))
+    report = check_stm(g)
+    (f,) = [f for f in report if f.rule == "P001"]
+    assert f.severity is Severity.WARNING
+    assert "c1" in f.message and "c2" in f.message
+
+
+def test_p001_single_channel_backpressure_is_flow_control():
+    g = TaskGraph("flow")
+    g.add_channel(ChannelSpec("c", capacity=1))
+    g.add_task(Task("A", 1.0, outputs=["c"]))
+    g.add_task(Task("B", 1.0, inputs=["c"]))
+    assert "P001" not in rules(check_stm(g))
+
+
+def _bounded_chain(capacity):
+    g = TaskGraph("pipe")
+    g.add_channel(ChannelSpec("ab", capacity=capacity))
+    g.add_task(Task("A", 1.0, outputs=["ab"]))
+    g.add_task(Task("B", 1.0, inputs=["ab"]))
+    return g
+
+
+def test_p002_capacity_insufficient_for_schedule():
+    g = _bounded_chain(capacity=1)
+    sol = OptimalScheduler(SINGLE_NODE_SMP(2)).solve(g, State(n_models=1))
+    # A ends at 1s, B drains at 2s, II=1s: two items in flight, capacity 1.
+    report = check_stm(g, sol)
+    (f,) = [f for f in report if f.rule == "P002"]
+    assert "capacity is 1" in f.message
+
+
+def test_p002_sufficient_capacity_is_clean():
+    g = _bounded_chain(capacity=2)
+    sol = OptimalScheduler(SINGLE_NODE_SMP(2)).solve(g, State(n_models=1))
+    assert "P002" not in rules(check_stm(g, sol))
+
+
+def test_p002_needs_a_schedule():
+    assert "P002" not in rules(check_stm(_bounded_chain(capacity=1)))
+
+
+def test_p003_consume_leak():
+    g = TaskGraph("leak")
+    g.add_channel(ChannelSpec("used"))
+    g.add_channel(ChannelSpec("tap"))
+    g.add_task(Task("A", 1.0, outputs=["used", "tap"]))
+    g.add_task(Task("B", 1.0, inputs=["used"]))
+    (f,) = [f for f in check_stm(g) if f.rule == "P003"]
+    assert "tap" in f.location
+
+
+def test_p003_terminal_outputs_are_exempt():
+    # A sink's sole output is the application's result stream; every
+    # runtime drains it with an implicit collector.
+    g = TaskGraph("sink")
+    g.add_channel(ChannelSpec("mid"))
+    g.add_channel(ChannelSpec("result"))
+    g.add_task(Task("A", 1.0, outputs=["mid"]))
+    g.add_task(Task("B", 1.0, inputs=["mid"], outputs=["result"]))
+    assert "P003" not in rules(check_stm(g))
+
+
+def test_p004_concurrent_consumers():
+    g = TaskGraph("fanout")
+    g.add_channel(ChannelSpec("src"))
+    g.add_task(Task("S", 1.0, outputs=["src"]))
+    g.add_task(Task("B", 1.0, inputs=["src"]))
+    g.add_task(Task("C", 1.0, inputs=["src"]))
+    findings = [f for f in check_stm(g) if f.rule == "P004"]
+    assert len(findings) == 1  # one per channel, even with more consumers
+    assert findings[0].severity is Severity.INFO
+
+
+def test_p004_ordered_consumers_are_clean():
+    # C consumes src but is a descendant of B, so their gets are ordered.
+    g = TaskGraph("ordered")
+    g.add_channel(ChannelSpec("src"))
+    g.add_channel(ChannelSpec("mid"))
+    g.add_task(Task("S", 1.0, outputs=["src"]))
+    g.add_task(Task("B", 1.0, inputs=["src"], outputs=["mid"]))
+    g.add_task(Task("C", 1.0, inputs=["src", "mid"]))
+    assert "P004" not in rules(check_stm(g))
+
+
+def test_cyclic_graph_does_not_crash_stm_pass():
+    g = TaskGraph("cycle")
+    g.add_channel(ChannelSpec("ab"))
+    g.add_channel(ChannelSpec("ba"))
+    g.add_task(Task("A", 1.0, inputs=["ba"], outputs=["ab"]))
+    g.add_task(Task("B", 1.0, inputs=["ab"], outputs=["ba"]))
+    check_stm(g)  # cycles are pass-1 findings; pass 3 must not raise

@@ -27,7 +27,7 @@ def wait_until():
         while time.monotonic() < deadline:
             if predicate():
                 return
-            time.sleep(interval)
+            time.sleep(interval)  # noqa: TID251  # the sanctioned poll loop itself
         raise AssertionError(f"condition not reached within {timeout}s")
 
     return _wait

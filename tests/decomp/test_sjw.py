@@ -53,7 +53,7 @@ class TestCompute:
             ]
 
         def work(state, chunk, ci):
-            time.sleep(ci["delay"])  # later chunks finish earlier
+            time.sleep(ci["delay"])  # noqa: TID251  # simulated work, not a sync wait
             return ci["i"]
 
         def join(state, results):
