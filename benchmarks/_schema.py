@@ -1,0 +1,61 @@
+"""One schema for every ``BENCH_*.json`` the benchmark harness emits.
+
+Each ``bench_*`` module used to hand-roll its own ``json.dumps`` with its
+own top-level keys, which made the CI artifacts impossible to consume
+uniformly.  All emitters now go through :func:`write_bench`, which wraps
+the module's results in a fixed envelope::
+
+    {
+      "bench": "fleet",             # which bench_ module produced this
+      "schema_version": 1,
+      "host": {"platform": ..., "python": ..., "cpus": ...},
+      "results": { ... }            # the module's own payload, unchanged
+    }
+
+Consumers key on ``bench`` + ``schema_version`` and never need to guess a
+module's layout to find the metadata.  Bump ``SCHEMA_VERSION`` when the
+envelope (not a module payload) changes shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+__all__ = ["SCHEMA_VERSION", "host_info", "usable_cpus", "write_bench"]
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def host_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": usable_cpus(),
+    }
+
+
+def write_bench(bench: str, results: dict, path: Path) -> Path:
+    """Write ``results`` to ``path`` under the shared envelope.
+
+    ``bench`` is the short module name ("fleet", "substrates", ...);
+    ``path`` is the target ``BENCH_<bench>.json``.  Returns ``path``.
+    """
+    payload = {
+        "bench": bench,
+        "schema_version": SCHEMA_VERSION,
+        "host": host_info(),
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -17,13 +17,13 @@ Timings use ``time.perf_counter`` directly so the module runs under plain
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import pytest
 
+from _schema import write_bench
 from repro.analysis import verify_schedule_table, verify_shape_table
 from repro.core.optimal import OptimalScheduler
 from repro.core.table import ScheduleTable
@@ -48,8 +48,9 @@ MAX_CERTIFICATE_S = 0.05
 @pytest.fixture(scope="module", autouse=True)
 def _emit_summary():
     yield
-    out = Path(__file__).with_name("BENCH_analysis.json")
-    out.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    out = write_bench(
+        "analysis", RESULTS, Path(__file__).with_name("BENCH_analysis.json")
+    )
     print(f"\nsummary written to {out}")
 
 

@@ -28,13 +28,13 @@ What is *asserted* vs. merely *recorded*:
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import pytest
 
+from _schema import write_bench
 from repro.core.cache import ScheduleCache
 from repro.core.enumerate import enumerate_schedules
 from repro.core.optimal import OptimalScheduler
@@ -69,8 +69,9 @@ def _space() -> StateSpace:
 @pytest.fixture(scope="module", autouse=True)
 def _emit_summary():
     yield
-    out = Path(__file__).with_name("BENCH_enumerate.json")
-    out.write_text(json.dumps(RESULTS, indent=2) + "\n")
+    out = write_bench(
+        "enumerate", RESULTS, Path(__file__).with_name("BENCH_enumerate.json")
+    )
     print(f"\nsummary written to {out}")
 
 

@@ -9,7 +9,10 @@ Four passes, one report model:
    :func:`verify_schedule_table`, :func:`verify_shape_table`) — rules
    ``Sxxx``: placement legality, precedence feasibility, independent
    re-derivation of the claimed latency L, table totality and failover
-   coverage.
+   coverage.  Its fleet extension (:func:`verify_packing`, rule ``F001``)
+   re-checks carve exclusivity and shared-node capacity across tenants,
+   then re-certifies every admitted tenant's schedule under its virtual
+   sub-cluster.
 3. **STM protocol analysis** (:func:`check_stm`) — rules ``Pxxx``:
    wait-for deadlock cycles, capacity vs in-flight items, consume leaks,
    born-consumed ``try_get`` hazards.
@@ -25,6 +28,7 @@ syntax.
 """
 
 from repro.analysis.findings import AnalysisReport, Finding, Severity, Waiver
+from repro.analysis.fleetverify import verify_packing
 from repro.analysis.graphlint import lint_graph
 from repro.analysis.race import RaceChecker, TrackedLock
 from repro.analysis.rules import RULES, Rule, get_rule
@@ -48,6 +52,7 @@ __all__ = [
     "verify_solution",
     "verify_schedule_table",
     "verify_shape_table",
+    "verify_packing",
     "check_stm",
     "RaceChecker",
     "TrackedLock",

@@ -1,0 +1,126 @@
+"""Pass 2b: fleet packing verification (rule ``F001``).
+
+The fleet placer *claims* its packings are exclusive and capacity-safe;
+this pass re-derives that claim from first principles, the same way
+:mod:`repro.analysis.schedverify` re-derives schedule certificates:
+
+* every carved processor exists, is alive, and belongs to the node the
+  carve names;
+* no physical processor is granted to two tenants;
+* no node hands out more processors than it has;
+* every carve is consistent (width >= 1, tenant actually admitted).
+
+On top of the F001 geometry, every admitted tenant's *active* schedule is
+re-certified with the existing S001-S012 machinery against its virtual
+sub-cluster — a tenant demoted to a narrower carve must still hold a
+valid certificate for that width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.schedverify import verify_solution
+from repro.sim.cluster import ClusterSpec
+
+__all__ = ["verify_packing"]
+
+
+def verify_packing(
+    packing,
+    base: ClusterSpec,
+    tenants: Mapping[str, object],
+    dead_procs: Iterable[int] = (),
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Independently re-check a fleet :class:`~repro.fleet.placer.Packing`.
+
+    ``tenants`` maps tenant id to :class:`~repro.fleet.tenant.Tenant` (or
+    anything exposing ``spec.graph``, ``state`` and ``active``); carves for
+    unknown tenants and admitted tenants without carves are both findings.
+    """
+    report = report if report is not None else AnalysisReport()
+    dead = set(dead_procs)
+    floc = "fleet:packing"
+    n_procs = base.total_processors
+
+    owner: dict[int, str] = {}
+    used_by_node: dict[int, int] = {}
+    for tid, carve in packing.carves.items():
+        loc = f"{floc}/tenant:{tid}"
+        if tid not in tenants:
+            report.add("F001", loc, f"carve for unknown tenant {tid!r}")
+        if carve.width < 1:
+            report.add("F001", loc, "carve grants zero processors")
+        for q in carve.procs:
+            if not 0 <= q < n_procs:
+                report.add(
+                    "F001", loc, f"processor {q} outside the base cluster 0..{n_procs - 1}"
+                )
+                continue
+            if q in dead:
+                report.add("F001", loc, f"processor {q} is dead but still carved out")
+            if base.node_of(q) != carve.node:
+                report.add(
+                    "F001",
+                    loc,
+                    f"processor {q} lives on node {base.node_of(q)}, "
+                    f"not the carve's node {carve.node}",
+                )
+            if q in owner:
+                report.add(
+                    "F001",
+                    loc,
+                    f"processor {q} granted to both {owner[q]!r} and {tid!r}",
+                )
+            else:
+                owner[q] = tid
+        used_by_node[carve.node] = used_by_node.get(carve.node, 0) + carve.width
+
+    for node, used in sorted(used_by_node.items()):
+        if not 0 <= node < base.nodes:
+            report.add(
+                "F001", floc, f"carve names node {node} outside the base cluster"
+            )
+            continue
+        alive_here = sum(
+            1 for p in base.node_processors(node) if p.index not in dead
+        )
+        if used > alive_here:
+            report.add(
+                "F001",
+                f"{floc}/node:{node}",
+                f"node {node} has {alive_here} alive processor(s) but "
+                f"{used} are carved out across tenants",
+            )
+
+    # Per-tenant schedule certificates under the virtual sub-cluster.
+    for tid, tenant in sorted(tenants.items()):
+        carve = packing.carves.get(tid)
+        if carve is None:
+            if tid not in packing.unplaced:
+                report.add(
+                    "F001",
+                    f"{floc}/tenant:{tid}",
+                    f"admitted tenant {tid!r} has neither a carve nor an "
+                    f"unplaced marker",
+                )
+            continue
+        solution = getattr(tenant, "active", None)
+        if solution is None:
+            report.add(
+                "F001",
+                f"{floc}/tenant:{tid}",
+                f"tenant {tid!r} holds a carve but no active schedule",
+            )
+            continue
+        virtual = ClusterSpec(nodes=1, procs_per_node=carve.width)
+        verify_solution(
+            solution,
+            tenant.spec.graph,
+            virtual,
+            location=f"{floc}/tenant:{tid}/state:{tenant.state!r}",
+            report=report,
+        )
+    return report

@@ -5,6 +5,8 @@ Rule ids are stable and prefixed by pass:
 * ``Gxxx`` — pass 1, graph lint (:mod:`repro.analysis.graphlint`);
 * ``Sxxx`` — pass 2, schedule/table verification
   (:mod:`repro.analysis.schedverify`);
+* ``Fxxx`` — pass 2b, fleet packing verification
+  (:mod:`repro.analysis.fleetverify`);
 * ``Pxxx`` — pass 3, STM protocol analysis (:mod:`repro.analysis.stmcheck`);
 * ``Rxxx`` — pass 4, dynamic race/deadlock detection
   (:mod:`repro.analysis.race`).
@@ -151,6 +153,14 @@ RULES: dict[str, Rule] = _catalog(
          "A single-node-failure shape has no shape-table entry; a crash of "
          "that node would raise ShapeLookupError instead of failing over.",
          "rebuild the ShapeTable with max_node_failures >= 1"),
+    # -- pass 2b: fleet packing verification ----------------------------------
+    Rule("F001", "fleet-capacity-overflow", E,
+         "A fleet packing violates carve exclusivity or node capacity: a "
+         "processor is granted to two tenants, a dead or out-of-range "
+         "processor is carved out, a node hands out more processors than "
+         "it has alive, or an admitted tenant's certificate no longer "
+         "holds under its virtual sub-cluster.",
+         "re-run FleetManager repack; the placer never emits overlaps"),
     # -- pass 3: STM protocol ------------------------------------------------
     Rule("P001", "stm-wait-cycle", W,
          "Bounded channels create a wait cycle across different channels "

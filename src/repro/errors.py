@@ -243,6 +243,27 @@ class ShapeLookupError(ShapeUnschedulable, KeyError):
 
 
 # ---------------------------------------------------------------------------
+# Fleet (multi-tenant scheduling)
+# ---------------------------------------------------------------------------
+
+
+class FleetError(ReproError):
+    """Base class for multi-tenant fleet-scheduling errors."""
+
+
+class TenantError(FleetError):
+    """Invalid tenant description, or an operation on an unknown tenant."""
+
+
+class AdmissionError(FleetError):
+    """A tenant was rejected by admission control."""
+
+
+class PackingError(FleetError):
+    """The placer could not produce a feasible packing."""
+
+
+# ---------------------------------------------------------------------------
 # Experiments
 # ---------------------------------------------------------------------------
 

@@ -8,6 +8,7 @@
     python -m repro.experiments ablations
     python -m repro.experiments faults
     python -m repro.experiments obs
+    python -m repro.experiments fleet
     python -m repro.experiments all
     python -m repro.experiments all --output results.txt
 """
@@ -27,7 +28,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=["table1", "figure3", "figure4", "figure5", "regime",
-                 "ablations", "frontier", "faults", "obs", "all"],
+                 "ablations", "frontier", "faults", "obs", "fleet", "all"],
         help="which experiment to run",
     )
     parser.add_argument(
@@ -55,6 +56,7 @@ def main(argv: list[str] | None = None) -> int:
         "frontier": _frontier,
         "faults": _faults,
         "obs": _obs,
+        "fleet": _fleet,
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     chunks: list[str] = []
@@ -130,6 +132,21 @@ def _obs(quick: bool, workers: int | None = None) -> str:
         workers=workers,
         overhead_frames=16 if quick else 32,
     ).render()
+
+
+def _fleet(quick: bool, workers: int | None = None) -> str:
+    from repro.experiments.fleet_exp import run_fleet
+    from repro.sim.cluster import ClusterSpec
+
+    if quick:
+        return run_fleet(
+            cluster=ClusterSpec(nodes=4, procs_per_node=4),
+            wave_sizes=(12, 8),
+            wave_gap=120.0,
+            mean_dwell=200.0,
+            workers=workers,
+        ).render()
+    return run_fleet(workers=workers).render()
 
 
 def _ablations(quick: bool, workers: int | None = None) -> str:

@@ -1,0 +1,117 @@
+"""Admission control: who gets in, who waits, who is turned away.
+
+The placer guarantees every *admitted* tenant a floor of one processor,
+so admission reduces to a capacity question: a tenant is admissible while
+live tenants number fewer than free processors.  When the packing has no
+room, the disposition is policy: ``queue`` parks the tenant in a
+priority-ordered FIFO drained on every departure, ``reject`` turns it
+away immediately (a full queue always rejects).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AdmissionError
+from repro.fleet.tenant import Tenant
+
+__all__ = ["AdmissionPolicy", "AdmissionDecision", "AdmissionQueue", "AdmissionStats"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Disposition of tenants the current packing cannot hold."""
+
+    mode: str = "queue"  # "queue" | "reject"
+    queue_limit: Optional[int] = None  # None = unbounded
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("queue", "reject"):
+            raise AdmissionError(f"unknown admission mode {self.mode!r}")
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise AdmissionError(f"queue_limit must be >= 0, got {self.queue_limit}")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The audited outcome of one admission attempt."""
+
+    time: float
+    tenant_id: str
+    action: str  # "admitted" | "queued" | "rejected"
+    reason: str = ""
+
+
+class AdmissionQueue:
+    """Priority-ordered FIFO of tenants waiting for capacity.
+
+    Ordering: higher ``priority`` first; equal priorities leave in
+    arrival order (the heap key is ``(-priority, seq)``).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, str]] = []
+        self._tenants: dict[str, Tenant] = {}
+
+    def push(self, tenant: Tenant) -> None:
+        if tenant.id in self._tenants:
+            raise AdmissionError(f"tenant {tenant.id} already queued")
+        self._tenants[tenant.id] = tenant
+        heapq.heappush(self._heap, (-tenant.priority, tenant.seq, tenant.id))
+
+    def pop(self) -> Tenant:
+        while self._heap:
+            _, _, tid = heapq.heappop(self._heap)
+            tenant = self._tenants.pop(tid, None)
+            if tenant is not None:
+                return tenant
+        raise AdmissionError("admission queue is empty")
+
+    def peek(self) -> Optional[Tenant]:
+        while self._heap:
+            _, _, tid = self._heap[0]
+            if tid in self._tenants:
+                return self._tenants[tid]
+            heapq.heappop(self._heap)
+        return None
+
+    def remove(self, tenant_id: str) -> Optional[Tenant]:
+        """Withdraw a queued tenant (departed before ever being admitted)."""
+        return self._tenants.pop(tenant_id, None)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __repr__(self) -> str:
+        return f"AdmissionQueue({len(self)} waiting)"
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for the fleet report."""
+
+    offered: int = 0
+    admitted: int = 0
+    queued: int = 0
+    rejected: int = 0
+    decisions: list[AdmissionDecision] = field(default_factory=list)
+
+    def record(self, decision: AdmissionDecision) -> AdmissionDecision:
+        self.decisions.append(decision)
+        if decision.action == "admitted":
+            self.admitted += 1
+        elif decision.action == "queued":
+            self.queued += 1
+        else:
+            self.rejected += 1
+        return decision
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of offered tenants eventually admitted directly."""
+        return self.admitted / self.offered if self.offered else 0.0

@@ -1,0 +1,218 @@
+"""Fair-share bin-packing of tenant sub-clusters onto shared nodes.
+
+Two phases, both deterministic:
+
+1. **Grant** (:func:`fair_share_grants`) — decide how many processors each
+   tenant gets.  Every tenant is granted a floor of one processor (an
+   admitted tenant is never starved), then remaining capacity is
+   water-filled one processor at a time in ``(priority desc, weight desc,
+   admission order)`` order until demands are met or the cluster is full.
+   Tenants that cannot even get the floor are left unplaced — admission
+   control's problem, not the placer's.
+2. **Place** (:class:`FairSharePlacer`) — first-fit-decreasing bin packing
+   of the grants onto SMP nodes: largest grants first, each into the node
+   with the least sufficient free capacity (best fit), so big carve-outs
+   are not fragmented away by small ones.  A grant that no longer fits
+   whole is shrunk to the largest free block — the counting argument
+   (total grants <= total free processors, every grant >= 1) guarantees a
+   shrunk grant of at least one always fits.
+
+The carve-outs are exclusive: a physical processor belongs to at most one
+tenant, which is exactly what the F001 analysis rule re-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import PackingError
+
+__all__ = ["Demand", "Carve", "Packing", "fair_share_grants", "FairSharePlacer"]
+
+
+@dataclass(frozen=True)
+class Demand:
+    """One tenant's capacity request at packing time."""
+
+    tenant_id: str
+    want: int  # processors demanded by the current state
+    priority: int = 0
+    weight: float = 1.0
+    seq: int = 0  # admission order (FIFO tie-breaker)
+
+    def __post_init__(self) -> None:
+        if self.want < 1:
+            raise PackingError(f"{self.tenant_id}: demand must be >= 1, got {self.want}")
+        if self.weight <= 0:
+            raise PackingError(f"{self.tenant_id}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class Carve:
+    """One tenant's virtual sub-cluster: ``width`` processors on one node."""
+
+    tenant_id: str
+    node: int
+    procs: tuple[int, ...]  # physical processor indices, all on `node`
+    want: int  # what the tenant demanded
+
+    @property
+    def width(self) -> int:
+        return len(self.procs)
+
+    @property
+    def degraded(self) -> bool:
+        """True when fair-share preemption granted less than demanded."""
+        return self.width < self.want
+
+
+@dataclass
+class Packing:
+    """A complete assignment of tenants to processor carve-outs."""
+
+    carves: dict[str, Carve] = field(default_factory=dict)
+    unplaced: list[str] = field(default_factory=list)  # no floor grant available
+    capacity: int = 0  # total free processors offered to the placer
+
+    def carve(self, tenant_id: str) -> Carve:
+        try:
+            return self.carves[tenant_id]
+        except KeyError:
+            raise PackingError(f"tenant {tenant_id} has no carve in this packing") from None
+
+    @property
+    def used(self) -> int:
+        return sum(c.width for c in self.carves.values())
+
+    @property
+    def utilization(self) -> float:
+        return self.used / self.capacity if self.capacity else 0.0
+
+    @property
+    def degraded_ids(self) -> list[str]:
+        return sorted(t for t, c in self.carves.items() if c.degraded)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self.carves
+
+    def __len__(self) -> int:
+        return len(self.carves)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packing({len(self.carves)} tenants, {self.used}/{self.capacity} procs, "
+            f"{len(self.degraded_ids)} degraded, {len(self.unplaced)} unplaced)"
+        )
+
+
+def _grant_order(demands: Iterable[Demand]) -> list[Demand]:
+    return sorted(demands, key=lambda d: (-d.priority, -d.weight, d.seq))
+
+
+def fair_share_grants(demands: Sequence[Demand], capacity: int) -> dict[str, int]:
+    """Phase 1: processors granted per tenant (0 = cannot be admitted).
+
+    Floor of one each in priority order while capacity lasts, then
+    water-fill the remainder toward demands.  Total grants never exceed
+    ``capacity``; a tenant's grant never exceeds its demand.
+    """
+    order = _grant_order(demands)
+    grants: dict[str, int] = {}
+    left = capacity
+    for d in order:
+        grants[d.tenant_id] = 1 if left > 0 else 0
+        left -= grants[d.tenant_id]
+    want = {d.tenant_id: d.want for d in order}
+    while left > 0:
+        progressed = False
+        for d in order:
+            if left == 0:
+                break
+            if 0 < grants[d.tenant_id] < want[d.tenant_id]:
+                grants[d.tenant_id] += 1
+                left -= 1
+                progressed = True
+        if not progressed:
+            break
+    return grants
+
+
+class FairSharePlacer:
+    """Grant + first-fit-decreasing placement over per-node free lists."""
+
+    def pack(
+        self,
+        free_procs: Mapping[int, Sequence[int]],
+        demands: Sequence[Demand],
+        pinned: Optional[Mapping[str, Carve]] = None,
+    ) -> Packing:
+        """Pack ``demands`` into the free processors of each node.
+
+        Parameters
+        ----------
+        free_procs:
+            ``node -> physical processor indices`` currently available to
+            the fleet (dead processors already excluded).
+        demands:
+            One :class:`Demand` per live tenant.
+        pinned:
+            Previous carves; a tenant whose grant still fits its old node
+            keeps its processors (stability: churn of one tenant should
+            not shuffle everyone else).
+        """
+        seen: set[str] = set()
+        for d in demands:
+            if d.tenant_id in seen:
+                raise PackingError(f"duplicate demand for tenant {d.tenant_id}")
+            seen.add(d.tenant_id)
+        free: dict[int, list[int]] = {
+            n: sorted(free_procs[n]) for n in sorted(free_procs)
+        }
+        capacity = sum(len(v) for v in free.values())
+        packing = Packing(capacity=capacity)
+        grants = fair_share_grants(demands, capacity)
+        by_id = {d.tenant_id: d for d in demands}
+
+        placed: dict[str, Carve] = {}
+        # Stability pass: keep a tenant on its previous node when the new
+        # grant still fits there (shrinking in place counts as fitting).
+        remaining = []
+        for d in _grant_order(demands):
+            g = grants[d.tenant_id]
+            if g == 0:
+                packing.unplaced.append(d.tenant_id)
+                continue
+            old = pinned.get(d.tenant_id) if pinned else None
+            if old is not None and old.node in free and len(free[old.node]) >= g:
+                stay = [p for p in old.procs if p in free[old.node]]
+                take = (stay + [p for p in free[old.node] if p not in stay])[:g]
+                if len(take) == g:
+                    placed[d.tenant_id] = Carve(d.tenant_id, old.node, tuple(sorted(take)), d.want)
+                    free[old.node] = [p for p in free[old.node] if p not in take]
+                    continue
+            remaining.append(d)
+
+        # FFD over the rest: biggest grants first, best-fit node choice.
+        remaining.sort(key=lambda d: (-grants[d.tenant_id], -d.priority, d.seq))
+        for d in remaining:
+            g = grants[d.tenant_id]
+            fitting = [n for n in free if len(free[n]) >= g]
+            if fitting:
+                node = min(fitting, key=lambda n: (len(free[n]), n))
+            else:
+                # Fragmented: shrink to the largest free block (>= 1 by the
+                # counting argument — grants never exceed total capacity).
+                node = max(free, key=lambda n: (len(free[n]), -n), default=None)
+                if node is None or not free[node]:
+                    packing.unplaced.append(d.tenant_id)
+                    continue
+                g = min(g, len(free[node]))
+            take = free[node][:g]
+            free[node] = free[node][g:]
+            placed[d.tenant_id] = Carve(d.tenant_id, node, tuple(take), d.want)
+
+        packing.carves = {d.tenant_id: placed[d.tenant_id]
+                          for d in sorted(by_id.values(), key=lambda d: d.seq)
+                          if d.tenant_id in placed}
+        return packing

@@ -1,0 +1,175 @@
+"""F001: fleet packing verification — seeded true-positive fixtures.
+
+Each test plants one specific geometry violation in a hand-built
+:class:`Packing` and asserts the verifier reports it under rule ``F001``;
+the final tests check a real :class:`FleetManager` packing comes back
+clean and that a demoted tenant's schedule is re-certified against its
+*narrow* virtual sub-cluster, not the width it asked for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import verify_packing
+from repro.fleet import FleetManager, TenantSpec
+from repro.fleet.placer import Carve, Packing
+from repro.fleet.tenant import Tenant
+from repro.graph.builders import chain_graph
+from repro.sim.cluster import ClusterSpec
+from repro.state import State, StateSpace
+
+BASE = ClusterSpec(nodes=2, procs_per_node=2)  # procs 0,1 on node 0; 2,3 on node 1
+SPACE = StateSpace.range("n_models", 1, 2)
+
+
+def make_tenant(tid: str, width: int = 1, max_width: int = 2) -> Tenant:
+    spec = TenantSpec(
+        name=tid,
+        graph=chain_graph([0.05, 0.1], name=tid),
+        space=SPACE,
+        initial=State(n_models=1),
+        max_width=max_width,
+    )
+    tenant = Tenant(id=tid, spec=spec, state=spec.initial, seq=1)
+    tenant.granted = width
+    tenant.active = tenant.solution(width=width)
+    return tenant
+
+
+def packing_of(*carves: Carve, capacity: int = 4) -> Packing:
+    return Packing(carves={c.tenant_id: c for c in carves}, capacity=capacity)
+
+
+def f001_messages(report) -> list[str]:
+    return [f.message for f in report if f.rule == "F001"]
+
+
+class TestGeometryViolations:
+    def test_clean_packing_no_findings(self):
+        t = make_tenant("a")
+        report = verify_packing(
+            packing_of(Carve("a", 0, (0,), want=1)), BASE, {"a": t}
+        )
+        assert report.ok(strict=True)
+
+    def test_double_granted_processor(self):
+        a, b = make_tenant("a"), make_tenant("b")
+        report = verify_packing(
+            packing_of(Carve("a", 0, (0,), want=1), Carve("b", 0, (0,), want=1)),
+            BASE,
+            {"a": a, "b": b},
+        )
+        assert any("granted to both" in m for m in f001_messages(report))
+        assert not report.ok()
+
+    def test_node_capacity_overflow(self):
+        a = make_tenant("a", width=2)
+        b = make_tenant("b")
+        report = verify_packing(
+            packing_of(Carve("a", 0, (0, 1), want=2), Carve("b", 0, (2,), want=1)),
+            BASE,
+            {"a": a, "b": b},
+        )
+        msgs = f001_messages(report)
+        # proc 2 lives on node 1, and node 0 would be over capacity.
+        assert any("not the carve's node" in m for m in msgs)
+
+    def test_overflow_against_alive_not_total(self):
+        a = make_tenant("a", width=2)
+        report = verify_packing(
+            packing_of(Carve("a", 0, (0, 1), want=2)),
+            BASE,
+            {"a": a},
+            dead_procs=[1],
+        )
+        msgs = f001_messages(report)
+        assert any("dead but still carved" in m for m in msgs)
+        assert any("alive processor(s)" in m for m in msgs)
+
+    def test_processor_outside_cluster(self):
+        a = make_tenant("a")
+        report = verify_packing(
+            packing_of(Carve("a", 0, (9,), want=1)), BASE, {"a": a}
+        )
+        assert any("outside the base cluster" in m for m in f001_messages(report))
+
+    def test_unknown_tenant_carve(self):
+        report = verify_packing(
+            packing_of(Carve("ghost", 0, (0,), want=1)), BASE, {}
+        )
+        assert any("unknown tenant" in m for m in f001_messages(report))
+
+    def test_admitted_without_carve_or_marker(self):
+        a = make_tenant("a")
+        report = verify_packing(packing_of(), BASE, {"a": a})
+        assert any("neither a carve" in m for m in f001_messages(report))
+
+    def test_unplaced_marker_is_accepted(self):
+        a = make_tenant("a")
+        a.granted, a.active = 0, None
+        packing = packing_of()
+        packing.unplaced.append("a")
+        assert verify_packing(packing, BASE, {"a": a}).ok(strict=True)
+
+    def test_carve_without_active_schedule(self):
+        a = make_tenant("a")
+        a.active = None
+        report = verify_packing(
+            packing_of(Carve("a", 0, (0,), want=1)), BASE, {"a": a}
+        )
+        assert any("no active schedule" in m for m in f001_messages(report))
+
+
+class TestScheduleRecertification:
+    def test_schedule_wider_than_carve_fails_s_rules(self):
+        # The tenant's active schedule was built for width 2 (and, being
+        # fork-join, genuinely uses both processors) but the carve only
+        # grants one: the S-rule certificate must fail against the narrow
+        # virtual sub-cluster.
+        from repro.graph.builders import fork_join_graph
+
+        spec = TenantSpec(
+            name="fj",
+            graph=fork_join_graph(0.02, [0.3, 0.3], 0.02, name="fj"),
+            space=SPACE,
+            initial=State(n_models=1),
+            max_width=2,
+        )
+        a = Tenant(id="a", spec=spec, state=spec.initial, seq=1)
+        a.granted = 2
+        a.active = a.solution(width=2)
+        report = verify_packing(
+            packing_of(Carve("a", 0, (0,), want=2)), BASE, {"a": a}
+        )
+        assert not report.ok()
+        assert any(f.rule.startswith("S") for f in report)
+
+    def test_demoted_tenant_with_matching_schedule_passes(self):
+        a = make_tenant("a", width=1)  # schedule built for the narrow width
+        report = verify_packing(
+            packing_of(Carve("a", 0, (0,), want=2)), BASE, {"a": a}
+        )
+        assert report.ok(strict=True)
+
+
+class TestLiveFleet:
+    def test_manager_verify_is_clean_under_contention(self):
+        mgr = FleetManager(ClusterSpec(nodes=1, procs_per_node=3))
+        spec = make_tenant("c").spec
+        ids = [mgr.admit(spec, time=float(i)).tenant_id for i in range(3)]
+        for i, tid in enumerate(ids):
+            mgr.on_regime(tid, State(n_models=2), time=10.0 + i)
+        report = mgr.verify(strict=True)
+        assert report.ok(strict=True)
+
+    def test_manager_verify_raises_on_planted_overflow(self):
+        from repro.errors import AnalysisError
+
+        mgr = FleetManager(ClusterSpec(nodes=1, procs_per_node=2))
+        spec = make_tenant("c").spec
+        tid = mgr.admit(spec, time=0.0).tenant_id
+        carve = mgr.packing.carves[tid]
+        mgr.packing.carves[tid] = Carve(tid, carve.node, (0, 0), want=2)
+        with pytest.raises(AnalysisError):
+            mgr.verify()

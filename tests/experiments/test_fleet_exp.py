@@ -1,0 +1,87 @@
+"""Tests for the fleet experiment and its CLI entry.
+
+The class-scoped result runs a scaled-down configuration (quarter-size
+cluster, smaller waves) whose assertions mirror the full run's acceptance
+criteria proportionally: concurrency must reach at least the scaled
+floor, the second arrival wave must hit the schedule cache, and the final
+packing must carry a clean F001/S-rule verdict.  The full-scale numbers
+(>= 50 concurrent tenants on 16x4) are asserted in ``benchmarks`` /CI via
+the same driver; re-running them here would double multi-second work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fleet_exp import (
+    FleetResult,
+    kiosk_tenant_classes,
+    run_fleet,
+)
+from repro.sim.cluster import ClusterSpec
+
+# Quarter of the default 16x4 cluster; the >= 50 acceptance floor for the
+# full run scales to >= 13 here (concurrency tracks capacity).
+SCALE_FLOOR = 13
+
+
+class TestFleetExperiment:
+    @pytest.fixture(scope="class")
+    def result(self) -> FleetResult:
+        return run_fleet(
+            cluster=ClusterSpec(nodes=4, procs_per_node=4),
+            wave_sizes=(18, 10),
+            wave_gap=150.0,
+            mean_dwell=300.0,
+            seed=5,
+        )
+
+    def test_sustains_scaled_concurrency(self, result):
+        assert result.peak_concurrent >= SCALE_FLOOR
+
+    def test_zero_capacity_overflow_findings(self, result):
+        assert result.findings_errors == 0
+
+    def test_second_wave_hits_cache(self, result):
+        wave2 = result.waves[1]
+        assert wave2.cache_hits > 0
+        assert wave2.hit_rate > 0.5  # same classes as wave 1 -> mostly reuse
+
+    def test_all_offered_accounted(self, result):
+        w = result.waves
+        assert sum(x.arrivals for x in w) == result.offered
+        assert result.admitted + result.rejected + result.final_queued >= 0
+        assert 0.0 <= result.admission_rate <= 1.0
+
+    def test_preemption_happened_and_was_accounted(self, result):
+        # Contended kiosks must have been demoted at least once, and
+        # every demotion is accounted on some tenant class row.
+        assert result.demotions > 0
+        assert sum(r["demotions"] for r in result.class_rows) > 0
+        assert result.total_stall >= 0.0
+
+    def test_tenants_eventually_leave(self, result):
+        assert result.departures > 0
+        assert result.final_concurrent <= result.peak_concurrent
+
+    def test_utilization_bounded(self, result):
+        assert 0.0 < result.mean_utilization <= 1.0
+        assert result.peak_utilization <= 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Arrival waves" in text
+        assert "verification: 0 error(s)" in text
+        assert "cache:" in text
+
+    def test_classes_are_distinct(self):
+        classes = kiosk_tenant_classes()
+        assert len({c.name for c in classes}) == 3
+        assert {c.priority for c in classes} == {0, 1, 2}
+
+    def test_cli(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fleet", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet: multi-tenant kiosks" in out

@@ -1,0 +1,35 @@
+"""Shared fixtures for the fleet suite: tiny, fast tenant classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import TenantSpec
+from repro.graph.builders import chain_graph
+from repro.state import State, StateSpace
+
+SPACE = StateSpace.range("n_models", 1, 2)
+
+
+def make_spec(
+    name: str = "app",
+    max_width: int = 2,
+    priority: int = 0,
+    weight: float = 1.0,
+    n_tasks: int = 2,
+) -> TenantSpec:
+    graph = chain_graph([0.05 * (i + 1) for i in range(n_tasks)], name=name)
+    return TenantSpec(
+        name=name,
+        graph=graph,
+        space=SPACE,
+        initial=State(n_models=1),
+        max_width=max_width,
+        priority=priority,
+        weight=weight,
+    )
+
+
+@pytest.fixture
+def spec():
+    return make_spec()

@@ -1,0 +1,95 @@
+"""Admission queue ordering, policy validation, and stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.fleet.admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionQueue,
+    AdmissionStats,
+)
+from repro.fleet.tenant import Tenant
+
+from .conftest import make_spec
+
+
+def queued_tenant(tid: str, seq: int, priority: int = 0) -> Tenant:
+    spec = make_spec(priority=priority)
+    return Tenant(id=tid, spec=spec, state=spec.initial, seq=seq)
+
+
+class TestQueueOrdering:
+    def test_fifo_within_priority(self):
+        q = AdmissionQueue()
+        q.push(queued_tenant("a", seq=1))
+        q.push(queued_tenant("b", seq=2))
+        q.push(queued_tenant("c", seq=3))
+        assert [q.pop().id for _ in range(3)] == ["a", "b", "c"]
+
+    def test_higher_priority_jumps_queue(self):
+        q = AdmissionQueue()
+        q.push(queued_tenant("lo", seq=1, priority=0))
+        q.push(queued_tenant("hi", seq=2, priority=5))
+        assert q.pop().id == "hi"
+        assert q.pop().id == "lo"
+
+    def test_peek_does_not_remove(self):
+        q = AdmissionQueue()
+        q.push(queued_tenant("a", seq=1))
+        assert q.peek().id == "a"
+        assert len(q) == 1
+
+    def test_remove_is_lazy_deleted(self):
+        q = AdmissionQueue()
+        q.push(queued_tenant("a", seq=1))
+        q.push(queued_tenant("b", seq=2))
+        gone = q.remove("a")
+        assert gone.id == "a"
+        assert "a" not in q and len(q) == 1
+        assert q.peek().id == "b"
+        assert q.pop().id == "b"
+
+    def test_remove_missing_returns_none(self):
+        assert AdmissionQueue().remove("ghost") is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(AdmissionError, match="empty"):
+            AdmissionQueue().pop()
+
+    def test_duplicate_push_rejected(self):
+        q = AdmissionQueue()
+        q.push(queued_tenant("a", seq=1))
+        with pytest.raises(AdmissionError, match="already queued"):
+            q.push(queued_tenant("a", seq=2))
+
+
+class TestPolicy:
+    def test_defaults_queue_unbounded(self):
+        p = AdmissionPolicy()
+        assert p.mode == "queue" and p.queue_limit is None
+
+    def test_unknown_mode(self):
+        with pytest.raises(AdmissionError, match="unknown admission mode"):
+            AdmissionPolicy(mode="drop")
+
+    def test_negative_limit(self):
+        with pytest.raises(AdmissionError, match="queue_limit"):
+            AdmissionPolicy(queue_limit=-1)
+
+
+class TestStats:
+    def test_record_counts_by_action(self):
+        s = AdmissionStats()
+        s.offered = 3
+        s.record(AdmissionDecision(0.0, "a", "admitted"))
+        s.record(AdmissionDecision(1.0, "b", "queued"))
+        s.record(AdmissionDecision(2.0, "c", "rejected"))
+        assert (s.admitted, s.queued, s.rejected) == (1, 1, 1)
+        assert s.admission_rate == pytest.approx(1 / 3)
+        assert len(s.decisions) == 3
+
+    def test_rate_of_nothing_is_zero(self):
+        assert AdmissionStats().admission_rate == 0.0

@@ -1,0 +1,133 @@
+"""Fair-share grants and first-fit-decreasing placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PackingError
+from repro.fleet.placer import Carve, Demand, FairSharePlacer, fair_share_grants
+
+
+def d(tid, want, priority=0, weight=1.0, seq=0):
+    return Demand(tenant_id=tid, want=want, priority=priority, weight=weight, seq=seq)
+
+
+class TestGrants:
+    def test_everyone_gets_floor_when_room(self):
+        grants = fair_share_grants([d("a", 3, seq=0), d("b", 3, seq=1)], capacity=2)
+        assert grants == {"a": 1, "b": 1}
+
+    def test_water_fill_toward_demand(self):
+        grants = fair_share_grants([d("a", 3, seq=0), d("b", 2, seq=1)], capacity=5)
+        assert grants == {"a": 3, "b": 2}
+
+    def test_surplus_stops_at_demand(self):
+        grants = fair_share_grants([d("a", 2, seq=0)], capacity=10)
+        assert grants == {"a": 2}
+
+    def test_priority_wins_contended_extra(self):
+        grants = fair_share_grants(
+            [d("lo", 2, priority=0, seq=0), d("hi", 2, priority=1, seq=1)],
+            capacity=3,
+        )
+        assert grants == {"hi": 2, "lo": 1}
+
+    def test_weight_breaks_priority_ties(self):
+        grants = fair_share_grants(
+            [d("light", 2, weight=1.0, seq=0), d("heavy", 2, weight=3.0, seq=1)],
+            capacity=3,
+        )
+        assert grants == {"heavy": 2, "light": 1}
+
+    def test_admission_order_breaks_full_ties(self):
+        grants = fair_share_grants([d("x", 2, seq=0), d("y", 2, seq=1)], capacity=3)
+        assert grants == {"x": 2, "y": 1}
+
+    def test_over_capacity_leaves_zero_grants(self):
+        grants = fair_share_grants(
+            [d(f"t{i}", 1, seq=i) for i in range(4)], capacity=2
+        )
+        assert sum(grants.values()) == 2
+        assert sorted(grants.values()) == [0, 0, 1, 1]
+
+    def test_total_never_exceeds_capacity(self):
+        demands = [d(f"t{i}", 3, priority=i % 2, seq=i) for i in range(5)]
+        for cap in range(0, 20):
+            grants = fair_share_grants(demands, cap)
+            assert sum(grants.values()) <= cap
+            assert all(g <= 3 for g in grants.values())
+
+
+class TestPlacer:
+    def test_carves_are_exclusive_and_on_one_node(self):
+        packing = FairSharePlacer().pack(
+            {0: [0, 1], 1: [2, 3]},
+            [d("a", 2, seq=0), d("b", 2, seq=1)],
+        )
+        assert not packing.unplaced
+        used = [p for c in packing.carves.values() for p in c.procs]
+        assert len(used) == len(set(used))
+        for c in packing.carves.values():
+            assert len({c.node}) == 1
+
+    def test_ffd_big_grants_get_whole_nodes(self):
+        packing = FairSharePlacer().pack(
+            {0: [0, 1, 2, 3], 1: [4, 5]},
+            [d("big", 4, seq=0), d("small", 2, seq=1)],
+        )
+        assert packing.carve("big").width == 4
+        assert packing.carve("small").width == 2
+        assert packing.carve("big").node != packing.carve("small").node
+
+    def test_fragmented_grant_shrinks_not_fails(self):
+        # Capacity 4 over two 2-proc nodes; a want-3 tenant can only get
+        # a 2-wide block but must still be placed (degraded).
+        packing = FairSharePlacer().pack(
+            {0: [0, 1], 1: [2, 3]},
+            [d("wide", 3, seq=0), d("nar", 1, seq=1)],
+        )
+        assert not packing.unplaced
+        assert packing.carve("wide").width == 2
+        assert packing.carve("wide").degraded
+
+    def test_degraded_flag_tracks_want(self):
+        packing = FairSharePlacer().pack(
+            {0: [0, 1]}, [d("a", 2, seq=0), d("b", 2, seq=1)]
+        )
+        assert packing.degraded_ids == ["a", "b"]
+
+    def test_stability_keeps_old_node(self):
+        placer = FairSharePlacer()
+        first = placer.pack({0: [0, 1], 1: [2, 3]}, [d("a", 2, seq=0)])
+        node = first.carve("a").node
+        second = placer.pack(
+            {0: [0, 1], 1: [2, 3]},
+            [d("a", 2, seq=0), d("b", 1, seq=1)],
+            pinned=first.carves,
+        )
+        assert second.carve("a").node == node
+        assert second.carve("a").procs == first.carve("a").procs
+
+    def test_duplicate_demand_rejected(self):
+        with pytest.raises(PackingError, match="duplicate"):
+            FairSharePlacer().pack({0: [0]}, [d("a", 1), d("a", 1)])
+
+    def test_zero_grant_tenants_reported_unplaced(self):
+        packing = FairSharePlacer().pack(
+            {0: [0]}, [d("a", 1, seq=0), d("b", 1, seq=1)]
+        )
+        assert packing.unplaced == ["b"]
+        assert "a" in packing and "b" not in packing
+
+    def test_demand_validation(self):
+        with pytest.raises(PackingError):
+            Demand(tenant_id="x", want=0)
+        with pytest.raises(PackingError):
+            Demand(tenant_id="x", want=1, weight=0.0)
+
+    def test_carve_accessors(self):
+        c = Carve("t", 0, (0, 1), want=3)
+        assert c.width == 2 and c.degraded
+        packing = FairSharePlacer().pack({0: [0]}, [d("a", 1)])
+        with pytest.raises(PackingError, match="no carve"):
+            packing.carve("ghost")

@@ -1,0 +1,135 @@
+"""Property tests over seeded random tenant arrival/departure sequences.
+
+A seeded ``random.Random`` drives a churn script — arrivals of random
+tenant classes, departures of random live tenants, random regime flips —
+against one :class:`FleetManager`.  After *every* event the fleet
+invariants must hold:
+
+* **no capacity overflow** — per-node usage never exceeds the node's
+  processor count, and no physical processor is granted twice;
+* **admitted implies feasible** — every live tenant holds a carve of
+  width >= 1 on a single node and an active schedule for its current
+  state at its granted width;
+* **fair share never starves** — no live tenant is at width 0;
+* **departures reclaim capacity** — when every tenant has departed the
+  packing is empty and the full capacity is free again.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fleet import FleetManager
+from repro.sim.cluster import ClusterSpec
+from repro.state import State
+
+from .conftest import make_spec
+
+SEEDS = list(range(8))
+
+CLASSES = [
+    dict(name="small", max_width=1, priority=0, weight=1.0),
+    dict(name="mid", max_width=2, priority=1, weight=2.0),
+    dict(name="wide", max_width=2, priority=2, weight=1.0, n_tasks=3),
+]
+
+
+def check_invariants(mgr: FleetManager, cluster: ClusterSpec) -> None:
+    packing = mgr.packing
+    by_node: dict[int, list[int]] = {}
+    for tid, carve in packing.carves.items():
+        assert tid in mgr.tenants, f"carve for unknown tenant {tid}"
+        assert carve.width >= 1, f"starved tenant {tid}"
+        by_node.setdefault(carve.node, []).extend(carve.procs)
+    for node, procs in by_node.items():
+        assert len(procs) == len(set(procs)), f"double-granted proc on node {node}"
+        assert len(procs) <= cluster.procs_per_node, f"node {node} overcommitted"
+    for tid, tenant in mgr.tenants.items():
+        assert tenant.granted >= 1, f"live tenant {tid} granted nothing"
+        assert tid in packing, f"live tenant {tid} missing from packing"
+        assert tenant.active is not None
+        # Feasible: the active solution is the pre-built one for exactly
+        # (current state, granted width).
+        expect = tenant.tables[tenant.granted].lookup(tenant.state)
+        assert tenant.active is expect
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_churn_preserves_invariants(seed):
+    rng = random.Random(seed)
+    cluster = ClusterSpec(nodes=rng.randint(1, 3), procs_per_node=rng.randint(2, 4))
+    mgr = FleetManager(cluster)
+    live: list[str] = []
+    t = 0.0
+    for _ in range(30):
+        t += rng.random()
+        roll = rng.random()
+        if roll < 0.5 or not live:
+            decision = mgr.admit(
+                make_spec(**rng.choice(CLASSES)), time=t
+            )
+            if decision.action == "admitted":
+                live.append(decision.tenant_id)
+        elif roll < 0.8:
+            tid = rng.choice(live)
+            live.remove(tid)
+            mgr.depart(tid, time=t)
+            # A drain may have admitted queued tenants; resync.
+            live = [x for x in live if x in mgr.tenants]
+            live += [x for x in mgr.tenants if x not in live]
+        else:
+            tid = rng.choice(live)
+            mgr.on_regime(tid, State(n_models=rng.randint(1, 2)), time=t)
+        live = [x for x in mgr.tenants]
+        check_invariants(mgr, cluster)
+    # The analysis rule agrees with the invariant checker.
+    if mgr.admitted_count:
+        assert mgr.verify().ok(strict=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_departures_reclaim_all_capacity(seed):
+    rng = random.Random(seed)
+    cluster = ClusterSpec(nodes=2, procs_per_node=3)
+    mgr = FleetManager(cluster)
+    admitted = []
+    for i in range(6):
+        d = mgr.admit(make_spec(**rng.choice(CLASSES)), time=float(i))
+        if d.action == "admitted":
+            admitted.append(d.tenant_id)
+    assert admitted
+    order = list(mgr.tenants)
+    rng.shuffle(order)
+    for j, tid in enumerate(order):
+        mgr.depart(tid, time=10.0 + j)
+        # Queue-drain may admit replacements; depart those too.
+        order.extend(x for x in mgr.tenants if x not in order)
+    assert mgr.admitted_count == 0 and mgr.queued_count == 0
+    assert mgr.packing.used == 0
+    assert mgr.capacity() == cluster.total_processors
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+def test_fair_share_never_starves_under_pressure(seed):
+    """Saturate a tiny cluster with wide demands: everyone keeps >= 1."""
+    rng = random.Random(seed)
+    mgr = FleetManager(ClusterSpec(nodes=1, procs_per_node=3))
+    tids = []
+    for i in range(3):
+        d = mgr.admit(make_spec(name=f"w{i}", max_width=2, priority=i), time=float(i))
+        assert d.action == "admitted"
+        tids.append(d.tenant_id)
+    for i, tid in enumerate(tids):
+        mgr.on_regime(tid, State(n_models=2), time=10.0 + i)
+    widths = sorted(mgr.tenant(t).granted for t in tids)
+    # Three demand-2 tenants on three processors: the floor consumes all
+    # capacity, so fair share degrades everyone to width 1 — nobody
+    # starves and nobody is evicted.
+    assert widths == [1, 1, 1]
+    assert sorted(mgr.packing.degraded_ids) == sorted(tids)
+    # One departure frees two processors; the highest-priority survivor
+    # is promoted back to its full demand.
+    mgr.depart(tids[0], time=20.0)
+    assert mgr.tenant(tids[-1]).granted == 2
