@@ -25,6 +25,8 @@ __all__ = [
     "color_histogram",
     "histogram_intersection",
     "back_projection",
+    "back_projection_multi",
+    "ratio_weights",
 ]
 
 
@@ -61,6 +63,33 @@ def histogram_intersection(h1: np.ndarray, h2: np.ndarray) -> float:
     return float(np.minimum(h1, h2).sum())
 
 
+def ratio_weights(
+    model_hist: np.ndarray,
+    frame_hist: np.ndarray | None,
+    bins: int = 8,
+) -> np.ndarray:
+    """Per-bin lookup table ``min(model/frame, 1)`` of one or many models.
+
+    ``model_hist`` may be a single ``(bins**3,)`` histogram or a stacked
+    ``(M, bins**3)`` batch; the returned table has the same leading shape.
+    Computing the table separately from the pixel gather lets callers
+    amortize the (expensive) per-pixel quantization across models.
+    """
+    cells = bins**3
+    if model_hist.shape[-1] != cells:
+        raise ReproError(
+            f"model histogram must have {cells} cells, got {model_hist.shape}"
+        )
+    if frame_hist is None:
+        peak = model_hist.max(axis=-1, keepdims=True)
+        return model_hist / np.where(peak > 0, peak, 1.0)
+    if frame_hist.shape != (cells,):
+        raise ReproError("frame and model histograms differ in shape")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(frame_hist > 0, model_hist / frame_hist, 0.0)
+    return np.minimum(ratio, 1.0)
+
+
 def back_projection(
     image: np.ndarray,
     model_hist: np.ndarray,
@@ -75,16 +104,32 @@ def back_projection(
     Returns a float64 (H, W) map in [0, 1].
     """
     idx = quantize(image, bins)
-    if model_hist.shape != (bins**3,):
+    if model_hist.ndim != 1:
         raise ReproError(
             f"model histogram must have {bins**3} cells, got {model_hist.shape}"
         )
-    if frame_hist is None:
-        weights = model_hist / (model_hist.max() or 1.0)
-    else:
-        if frame_hist.shape != model_hist.shape:
-            raise ReproError("frame and model histograms differ in shape")
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = np.where(frame_hist > 0, model_hist / frame_hist, 0.0)
-        weights = np.minimum(ratio, 1.0)
-    return weights[idx]
+    return ratio_weights(model_hist, frame_hist, bins)[idx]
+
+
+def back_projection_multi(
+    image: np.ndarray,
+    model_hists: "np.ndarray | list[np.ndarray]",
+    frame_hist: np.ndarray | None = None,
+    bins: int = 8,
+) -> np.ndarray:
+    """Back-projection planes of many models in one vectorized pass.
+
+    Quantizes the image once and gathers every model's ratio table in a
+    single fancy-index, instead of re-quantizing per model — the hot-path
+    batching behind task T4.  Returns float64 ``(M, H, W)`` planes,
+    bitwise identical to stacking :func:`back_projection` per model.
+    """
+    models = np.asarray(model_hists, dtype=np.float64)
+    if models.ndim == 1:
+        models = models[None, :]
+    if models.ndim != 2:
+        raise ReproError(
+            f"model histograms must stack to (M, {bins**3}), got {models.shape}"
+        )
+    idx = quantize(image, bins)
+    return ratio_weights(models, frame_hist, bins)[:, idx]

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.apps.colormodel import back_projection, color_histogram
+from repro.apps.colormodel import back_projection_multi, color_histogram, quantize
 from repro.apps.video import VideoSource
 from repro.decomp.strategies import WorkChunk
 from repro.errors import ReproError
@@ -27,9 +27,11 @@ __all__ = [
     "make_digitizer_kernel",
     "make_change_detection_kernel",
     "make_histogram_kernel",
+    "make_histogram_chunk_kernels",
     "make_target_detection_kernel",
     "make_target_detection_chunk_kernels",
     "make_peak_detection_kernel",
+    "make_peak_detection_chunk_kernels",
 ]
 
 _BINS = 8
@@ -76,11 +78,12 @@ def target_detection(
     techniques to track and identify people based on their motion and
     clothing color").
     """
-    if not model_histograms:
+    if len(model_histograms) == 0:
         raise ReproError("target_detection needs at least one model")
-    planes = np.stack(
-        [back_projection(frame, mh, frame_hist, bins) for mh in model_histograms]
-    )
+    # One quantization pass + one batched ratio-table gather for ALL
+    # models — bitwise identical to per-model back_projection, but the
+    # per-model Python overhead amortizes across the batch.
+    planes = back_projection_multi(frame, model_histograms, frame_hist, bins)
     if motion_mask is not None:
         planes *= motion_mask[None, :, :]
     return planes
@@ -119,12 +122,13 @@ def peak_detection(
     """
     if planes.ndim != 3:
         raise ReproError(f"planes must be (M, H, W), got shape {planes.shape}")
+    m, _h, w = planes.shape
+    flat = planes.reshape(m, -1)
+    args = flat.argmax(axis=1)
+    scores = flat[np.arange(m), args]
     out = []
-    for m in range(planes.shape[0]):
-        plane = planes[m]
-        flat = int(np.argmax(plane))
-        r, c = divmod(flat, plane.shape[1])
-        score = float(plane[r, c])
+    for arg, score in zip(args.tolist(), scores.tolist()):
+        r, c = divmod(arg, w)
         if score < min_score:
             out.append((-1, -1, score))
         else:
@@ -169,6 +173,33 @@ def make_histogram_kernel(bins: int = _BINS):
         return {"histogram": frame_histogram(inputs["frame"], bins)}
 
     return compute
+
+
+def make_histogram_chunk_kernels(bins: int = _BINS):
+    """T3 chunk/join pair: per-row-band partial bincounts.
+
+    Each chunk bincounts one horizontal band of the quantized frame; the
+    join sums the integer partials and normalizes once.  Because the
+    partials are exact integer counts, the joined histogram is bitwise
+    identical to the serial :func:`frame_histogram`.
+    """
+
+    def compute_chunk(state: State, inputs: dict, chunk_index: int, n_chunks: int):
+        frame = inputs["frame"]
+        h = frame.shape[0]
+        lo = h * chunk_index // n_chunks
+        hi = h * (chunk_index + 1) // n_chunks
+        idx = quantize(frame[lo:hi], bins)
+        return np.bincount(idx.ravel(), minlength=bins**3)
+
+    def compute_join(state: State, inputs: dict, partials: list) -> dict:
+        hist = np.sum(partials, axis=0).astype(np.float64)
+        total = hist.sum()
+        if total == 0:
+            raise ReproError("empty image")
+        return {"histogram": hist / total}
+
+    return compute_chunk, compute_join
 
 
 def make_target_detection_kernel(bins: int = _BINS, work_scale: int = 1):
@@ -237,3 +268,30 @@ def make_peak_detection_kernel(min_score: float = 0.0):
         return {"model_locations": peak_detection(inputs["back_projections"], min_score)}
 
     return compute
+
+
+def make_peak_detection_chunk_kernels(min_score: float = 0.0):
+    """T5 chunk/join pair: argmax over model bands.
+
+    Chunks split the (M, H, W) planes along the model axis — each model's
+    argmax is independent — and the join concatenates the per-band
+    location lists, reproducing the serial :func:`peak_detection` exactly.
+    Bands may be empty when ``n_chunks > M``; they contribute nothing.
+    """
+
+    def compute_chunk(state: State, inputs: dict, chunk_index: int, n_chunks: int):
+        planes = inputs["back_projections"]
+        m = planes.shape[0]
+        lo = m * chunk_index // n_chunks
+        hi = m * (chunk_index + 1) // n_chunks
+        if lo == hi:
+            return []
+        return peak_detection(planes[lo:hi], min_score)
+
+    def compute_join(state: State, inputs: dict, partials: list) -> dict:
+        locations: list[tuple[int, int, float]] = []
+        for part in partials:
+            locations.extend(part)
+        return {"model_locations": locations}
+
+    return compute_chunk, compute_join

@@ -158,6 +158,20 @@ def default_workers() -> int:
         return os.cpu_count() or 1
 
 
+def _execute_trapping(request: SolveRequest) -> tuple[str, Any]:
+    """Pool trampoline: trap domain errors so a chunk survives them.
+
+    ``pool.map`` ships requests in chunks (one IPC message per chunk
+    instead of one per request); a raising request would poison its
+    whole chunk at iteration time, so errors travel as values and
+    ``solve_many`` re-raises or returns them per the caller's choice.
+    """
+    try:
+        return ("ok", execute_request(request))
+    except ReproError as exc:
+        return ("err", exc)
+
+
 def _run_in_process(
     requests: Sequence[SolveRequest], return_exceptions: bool
 ) -> list:
@@ -214,19 +228,22 @@ def solve_many(
         ctx = multiprocessing.get_context(start_method or "fork")
     except ValueError:  # pragma: no cover - platform without the method
         return _run_in_process(reqs, return_exceptions)
+    n_workers = min(workers, len(reqs))
+    # Coalesced dispatch: map() ships requests to the pool in chunks, so
+    # a big sweep (every state of a StateSpace, every degraded shape)
+    # costs ~4 IPC messages per worker rather than one per request.
+    chunksize = max(1, len(reqs) // (n_workers * 4))
     try:
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(reqs)), mp_context=ctx
+            max_workers=n_workers, mp_context=ctx
         ) as pool:
-            futures = [pool.submit(execute_request, r) for r in reqs]
             out: list = []
-            for future in futures:
-                try:
-                    out.append(future.result())
-                except ReproError as exc:
-                    if not return_exceptions:
-                        raise
-                    out.append(exc)
+            for kind, payload in pool.map(
+                _execute_trapping, reqs, chunksize=chunksize
+            ):
+                if kind == "err" and not return_exceptions:
+                    raise payload
+                out.append(payload)
             return out
     except ReproError:
         raise

@@ -41,7 +41,13 @@ from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph
 from repro.sim.trace import ExecSpan
 from repro.state import State
-from repro.stm.process import BrokerDied, ChannelBroker, ProcessChannel, WorkerLink
+from repro.stm.process import (
+    BrokerDied,
+    ChannelBroker,
+    ProcessChannel,
+    StepBatch,
+    WorkerLink,
+)
 from repro.stm.threaded import ChannelPoisoned
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
@@ -167,6 +173,7 @@ class _WorkerSpec:
     replay: bool
     t0: float
     record_spans: bool = True
+    coalesce: bool = True
 
 
 #: Chunkable tasks of THIS worker, read by forked pool children.
@@ -282,50 +289,66 @@ def _worker_main(spec: _WorkerSpec) -> None:
                 retries[0] += 1
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def run_kernel(task: Task, inputs: dict, ts: int, variant: str,
+                   proc: int) -> dict:
+        """Invoke + validate one kernel execution (shared by both loops)."""
+        if task.compute is not None or task.compute_chunk is not None:
+            k0 = _time.perf_counter() - spec.t0
+            result = invoke_kernel(task, inputs, ts)
+            k1 = _time.perf_counter() - spec.t0
+            if spec.record_spans:
+                spans.append((task.name, variant, ts, k0, k1, proc))
+            if not isinstance(result, dict):
+                raise ReproError(
+                    f"kernel of {task.name!r} returned "
+                    f"{type(result).__name__}, expected dict"
+                )
+        else:
+            result = {ch: inputs for ch in task.outputs}
+        for ch in task.outputs:
+            if ch not in result:
+                raise ReproError(
+                    f"kernel of {task.name!r} produced no value for "
+                    f"channel {ch!r}"
+                )
+        return result
+
     def task_body(task: Task) -> None:
         try:
             ins = {ch: channel_for(ch) for ch in task.inputs}
             outs = {ch: channel_for(ch) for ch in task.outputs}
             conns_in = spec.conns_in[task.name]
             conns_out = spec.conns_out[task.name]
-            statics = {
-                ch: ins[ch].get(conns_in[ch], 0, timeout=spec.op_timeout)[1]
-                for ch in task.inputs
-                if ch in spec.static_channels
-            }
+            # Flat dispatch: channel classification resolved once, before
+            # the frame loop.
+            stream_inputs = [ch for ch in task.inputs
+                             if ch not in spec.static_channels]
+            static_inputs = [ch for ch in task.inputs
+                             if ch in spec.static_channels]
             variant = spec.dp_plan.get(task.name, (1, "serial", ()))[1]
             proc = spec.primary_proc.get(task.name, spec.node)
-            for ts in range(spec.resume.get(task.name, 0), spec.timestamps):
-                inputs = dict(statics)
-                for ch in task.inputs:
-                    if ch in spec.static_channels:
-                        continue
-                    _, value = ins[ch].get(conns_in[ch], ts,
-                                           timeout=spec.op_timeout)
-                    inputs[ch] = value
-                if task.compute is not None or task.compute_chunk is not None:
-                    k0 = _time.perf_counter() - spec.t0
-                    result = invoke_kernel(task, inputs, ts)
-                    k1 = _time.perf_counter() - spec.t0
-                    if spec.record_spans:
-                        spans.append((task.name, variant, ts, k0, k1, proc))
-                    if not isinstance(result, dict):
-                        raise ReproError(
-                            f"kernel of {task.name!r} returned "
-                            f"{type(result).__name__}, expected dict"
-                        )
-                else:
-                    result = {ch: inputs for ch in task.outputs}
-                for ch in task.outputs:
-                    if ch not in result:
-                        raise ReproError(
-                            f"kernel of {task.name!r} produced no value for "
-                            f"channel {ch!r}"
-                        )
-                    outs[ch].put(conns_out[ch], ts, result[ch],
-                                 timeout=spec.op_timeout)
-                for ch in task.inputs:
-                    if ch not in spec.static_channels:
+            start_ts = spec.resume.get(task.name, 0)
+            if spec.coalesce:
+                run_coalesced(task, ins, outs, conns_in, conns_out,
+                              stream_inputs, static_inputs, variant, proc,
+                              start_ts)
+            else:
+                statics = {
+                    ch: ins[ch].get(conns_in[ch], 0,
+                                    timeout=spec.op_timeout)[1]
+                    for ch in static_inputs
+                }
+                for ts in range(start_ts, spec.timestamps):
+                    inputs = dict(statics)
+                    for ch in stream_inputs:
+                        _, value = ins[ch].get(conns_in[ch], ts,
+                                               timeout=spec.op_timeout)
+                        inputs[ch] = value
+                    result = run_kernel(task, inputs, ts, variant, proc)
+                    for ch in task.outputs:
+                        outs[ch].put(conns_out[ch], ts, result[ch],
+                                     timeout=spec.op_timeout)
+                    for ch in stream_inputs:
                         ins[ch].consume(conns_in[ch], ts)
             for ch in list(ins.values()) + list(outs.values()):
                 ch.close()
@@ -334,6 +357,56 @@ def _worker_main(spec: _WorkerSpec) -> None:
         except BaseException:  # noqa: BLE001 - shipped to the parent
             with errors_lock:
                 errors.append(traceback.format_exc())
+
+    def run_coalesced(task: Task, ins, outs, conns_in, conns_out,
+                      stream_inputs, static_inputs, variant, proc,
+                      start_ts) -> None:
+        """The batched frame loop: ONE broker round trip per frame.
+
+        Frame ``ts``'s puts and consumes are deferred and ride in the
+        same step as frame ``ts+1``'s gets; a final flush step ships the
+        last frame's.  The broker applies a step's consumes immediately
+        even when its puts/gets park, so the deferral cannot deadlock
+        bounded channels.  Item streams and kernel results are identical
+        to the per-op loop (pinned by the conformance tests); the trade
+        is one kernel execution of extra pipeline latency per stage for
+        an op_timeout's worth fewer queue crossings.
+        """
+        prev_result: Optional[dict] = None
+        prev_ts = -1
+        statics: dict[str, Any] = {}
+        for ts in range(start_ts, spec.timestamps):
+            batch = StepBatch(link, replay=spec.replay)
+            if prev_result is not None:
+                for ch in task.outputs:
+                    batch.put(outs[ch], conns_out[ch], prev_ts,
+                              prev_result[ch])
+                for ch in stream_inputs:
+                    batch.consume(ins[ch], conns_in[ch], prev_ts)
+            if ts == start_ts:
+                for ch in static_inputs:
+                    batch.get(ins[ch], conns_in[ch], 0)
+            for ch in stream_inputs:
+                batch.get(ins[ch], conns_in[ch], ts)
+            got = batch.commit(timeout=spec.op_timeout)
+            i = 0
+            if ts == start_ts:
+                for ch in static_inputs:
+                    statics[ch] = got[i][1]
+                    i += 1
+            inputs = dict(statics)
+            for ch in stream_inputs:
+                inputs[ch] = got[i][1]
+                i += 1
+            prev_result = run_kernel(task, inputs, ts, variant, proc)
+            prev_ts = ts
+        if prev_result is not None:
+            flush = StepBatch(link, replay=spec.replay)
+            for ch in task.outputs:
+                flush.put(outs[ch], conns_out[ch], prev_ts, prev_result[ch])
+            for ch in stream_inputs:
+                flush.consume(ins[ch], conns_in[ch], prev_ts)
+            flush.commit(timeout=spec.op_timeout)
 
     threads = [
         threading.Thread(target=task_body, args=(t,), name=f"task:{t.name}",
@@ -391,6 +464,14 @@ class ProcessRuntime:
         process from the parent).
     faults:
         Optional :class:`ProcessFaultPlan`.
+    coalesce:
+        Batch each task's adjacent STM operations (previous frame's
+        puts + consumes, next frame's gets) into one broker "step"
+        round trip per frame.  ``None`` (default) reads the
+        ``REPRO_COALESCE`` environment variable — on unless set to
+        ``0``/``false``/``off``.  Item streams and outputs are
+        identical either way; only the number of queue crossings
+        changes.
     start_method:
         ``multiprocessing`` start method; only ``"fork"`` supports
         kernels that are closures (the default everywhere this runtime
@@ -409,6 +490,7 @@ class ProcessRuntime:
         obs: Optional["Observability"] = None,
         faults: Optional[ProcessFaultPlan] = None,
         start_method: str = "fork",
+        coalesce: Optional[bool] = None,
     ) -> None:
         graph.validate()
         from repro.core.optimal import ScheduleSolution
@@ -426,6 +508,11 @@ class ProcessRuntime:
         self.obs = obs
         self.faults = faults
         self.start_method = start_method
+        if coalesce is None:
+            coalesce = os.environ.get(
+                "REPRO_COALESCE", "1"
+            ).lower() not in ("0", "false", "off")
+        self.coalesce = coalesce
         for spec in graph.channels:
             if spec.static and spec.name not in self.static_inputs:
                 raise ReproError(
@@ -502,23 +589,23 @@ class ProcessRuntime:
             for task, plan in self.dp_plan.items()
         }
 
-        # The parent talks to the broker through the same link machinery
-        # as the workers (worker id 0 is reserved for it).
-        parent_link = WorkerLink(0, broker.requests, broker.register_worker(0))
-
         outputs: dict[str, dict[int, Any]] = {ch: {} for ch in terminal}
         completion_raw: dict[str, dict[int, float]] = {ch: {} for ch in terminal}
         collector_errors: list[str] = []
 
         def collector_body(ch_name: str) -> None:
-            chan = ProcessChannel(ch_name, parent_link)
+            # Collectors live in the broker's process, so they read STM
+            # state directly under the broker lock — zero queue round
+            # trips for terminal traffic, in both coalescing modes.
             conn = collector_conns[ch_name]
             try:
                 for ts in range(timestamps):
-                    got_ts, value = chan.get(conn, ts, timeout=self.op_timeout)
+                    got_ts, value = broker.local_get_blocking(
+                        ch_name, conn, ts, timeout=self.op_timeout
+                    )
                     outputs[ch_name][got_ts] = value
                     completion_raw[ch_name][got_ts] = broker.now
-                    chan.consume(conn, got_ts)
+                    broker.local_consume(ch_name, conn, got_ts)
             except ChannelPoisoned:
                 pass
             except (TimeoutError, BrokerDied) as exc:
@@ -551,10 +638,10 @@ class ProcessRuntime:
                 kernel_retries=kernel_retries,
                 replay=replay,
                 t0=broker._t0,
+                coalesce=self.coalesce,
             )
 
         broker.start()
-        parent_link.start()
         t_start = _time.perf_counter()
 
         next_worker_id = 1
@@ -633,7 +720,6 @@ class ProcessRuntime:
                     proc.terminate()
             for th in collectors:
                 th.join(timeout=self.op_timeout)
-            parent_link.stop()
         wall = _time.perf_counter() - t_start
 
         # Worker exit races the broker draining its "done" message; wait for
@@ -646,6 +732,8 @@ class ProcessRuntime:
         done = dict(broker.done_payloads)
         stats = broker.stats()
         gc_collected, high_water = broker.gc_totals()
+        broker_ops = dict(broker.op_counts)
+        broker_roundtrips = broker.roundtrips()
         digitize = self._digitize_times(broker)
         broker.stop()
         if failed:
@@ -698,6 +786,9 @@ class ProcessRuntime:
                 "dp_plan": {k: v[:2] for k, v in self.dp_plan.items()},
                 "gc_collected": gc_collected,
                 "live_item_high_water": high_water,
+                "coalesce": self.coalesce,
+                "broker_ops": broker_ops,
+                "broker_roundtrips": broker_roundtrips,
             },
         )
 

@@ -25,8 +25,9 @@ from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import ExecutorConfigError
 from repro.core.optimal import ScheduleSolution
-from repro.core.schedule import PipelinedSchedule, Placement
+from repro.core.schedule import PipelinedSchedule
 from repro.graph.taskgraph import TaskGraph
+from repro.runtime.dispatch import FlatPlacement, FlatSchedule, build_task_plans
 from repro.runtime.hub import build_hubs
 from repro.runtime.result import ExecutionResult
 from repro.sim.cluster import ClusterSpec
@@ -266,9 +267,10 @@ class StaticExecutor:
             for t in self.graph.tasks
             for p in preds[t.name]
         }
-        base_placements = {
-            pl.task: pl for pl in self.schedule.iteration.placements
-        }
+        # Flat dispatch tables: schedule lookups and channel classification
+        # compiled once, outside the per-iteration loop.
+        flat = FlatSchedule(self.schedule)
+        plans = build_task_plans(self.graph)
         edge_channels = {
             (p, t.name): "+".join(
                 ch.name for ch in self.graph.channels_between(p, t.name)
@@ -277,7 +279,11 @@ class StaticExecutor:
             for p in preds[t.name]
         }
 
-        def run_placement(k: int, pl: Placement):
+        item_sizes = {
+            spec.name: spec.item_size(self.state) for spec in self.graph.channels
+        }
+
+        def run_placement(k: int, pl: FlatPlacement):
             # ``pl`` comes from instantiate(k): start is absolute, procs are
             # already rotated for iteration k.
             scheduled_start = pl.start
@@ -288,9 +294,7 @@ class StaticExecutor:
                 ready = scheduled_start
                 for pred in preds[pl.task]:
                     pred_end = yield done[(k, pred)]
-                    src_primary = self.schedule.proc_for(
-                        base_placements[pred].procs[0], k
-                    )
+                    src_primary = flat.primary(pred, k)
                     delay = self.comm.transfer_time(
                         edge_bytes[(pred, pl.task)], src_primary, pl.procs[0]
                     )
@@ -311,9 +315,7 @@ class StaticExecutor:
                 # (sequentially — a task pulls its inputs one by one).
                 for pred in preds[pl.task]:
                     yield done[(k, pred)]
-                    src_primary = self.schedule.proc_for(
-                        base_placements[pred].procs[0], k
-                    )
+                    src_primary = flat.primary(pred, k)
                     yield from fabric.transfer(
                         edge_bytes[(pred, pl.task)], src_primary, pl.procs[0]
                     )
@@ -347,27 +349,27 @@ class StaticExecutor:
                 )
             for proc, grant in grants:
                 procs[proc].release(grant)
-            task = self.graph.task(pl.task)
-            for ch in task.outputs:
-                size = self.graph.channel(ch).item_size(self.state)
-                yield from hubs[ch].put(conns_out[pl.task][ch], k, {"ts": k}, size=size)
+            plan = plans[pl.task]
+            for ch in plan.outputs:
+                yield from hubs[ch].put(
+                    conns_out[pl.task][ch], k, {"ts": k}, size=item_sizes[ch]
+                )
                 collector = collector_conns.get(ch)
                 if collector is not None:
                     hubs[ch].try_get(collector, k)
                     hubs[ch].consume(collector, k)
             if pl.task in sources:
                 digitize_times[k] = sim.now
-            for ch in task.inputs:
-                if self.graph.channel(ch).static:
-                    continue
+            for ch in plan.stream_inputs:
                 hubs[ch].consume(conns_in[pl.task][ch], k)
             if pl.task in sink_names:
                 sink_done[pl.task][k] = end
             done[(k, pl.task)].succeed(end)
 
-        for k in range(iterations):
-            # Instantiate iteration k: same pattern, rotated processors.
-            for pl in self.schedule.instantiate(k):
+        for k, rows in flat.iter_iterations(iterations):
+            # Instantiate iteration k: same pattern, rotated processors —
+            # vectorized over the whole iteration by the flat tables.
+            for pl in rows:
                 sim.process(run_placement(k, pl), name=f"{pl.task}@{k}")
 
         sim.run(check_deadlock=True)
@@ -443,6 +445,9 @@ class StaticExecutor:
                 "kernel_retries": res.kernel_retries,
                 "nodes": res.meta["nodes"],
                 "dp_plan": res.meta["dp_plan"],
+                "coalesce": res.meta["coalesce"],
+                "broker_ops": res.meta["broker_ops"],
+                "broker_roundtrips": res.meta["broker_roundtrips"],
             }
         return ExecutionResult(
             graph=self.graph,

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import ExecutorConfigError, ReproError
 from repro.graph.taskgraph import TaskGraph
+from repro.runtime.dispatch import build_task_plans
 from repro.state import State
 from repro.stm.threaded import ChannelPoisoned, ThreadedChannel
 
@@ -171,23 +172,29 @@ class ThreadedRuntime:
         }
         collector_conns = {ch: channels[ch].attach_input("-collector-") for ch in terminal}
 
+        plans = build_task_plans(self.graph)
+
         def task_body(task) -> None:
             try:
                 ins = conns_in[task.name]
                 outs = conns_out[task.name]
+                plan = plans[task.name]
+                # Flat dispatch: channel classification and (channel, conn)
+                # pairs resolved once, outside the frame loop.
+                stream_pairs = [
+                    (ch, channels[ch], ins[ch]) for ch in plan.stream_inputs
+                ]
+                out_pairs = [(ch, channels[ch], outs[ch]) for ch in plan.outputs]
                 statics = {
                     ch: channels[ch].get(ins[ch], 0, timeout=self.op_timeout)[1]
-                    for ch in task.inputs
-                    if self.graph.channel(ch).static
+                    for ch in plan.static_inputs
                 }
                 for ts in range(timestamps):
                     if task.is_source and source_period > 0:
                         _time.sleep(source_period)
                     inputs = dict(statics)
-                    for ch in task.inputs:
-                        if self.graph.channel(ch).static:
-                            continue
-                        _, value = channels[ch].get(ins[ch], ts, timeout=self.op_timeout)
+                    for ch, channel, conn in stream_pairs:
+                        _, value = channel.get(conn, ts, timeout=self.op_timeout)
                         inputs[ch] = value
                     if task.compute is not None:
                         k0 = _time.perf_counter()
@@ -207,23 +214,22 @@ class ThreadedRuntime:
                                 f"{type(result).__name__}, expected dict"
                             )
                     else:
-                        result = {ch: inputs for ch in task.outputs}
-                    for ch in task.outputs:
+                        result = {ch: inputs for ch in plan.outputs}
+                    for ch, channel, conn in out_pairs:
                         if ch not in result:
                             raise ReproError(
                                 f"kernel of {task.name!r} produced no value for "
                                 f"channel {ch!r}"
                             )
-                        channels[ch].put(outs[ch], ts, result[ch], timeout=self.op_timeout)
+                        channel.put(conn, ts, result[ch], timeout=self.op_timeout)
                     if task.is_source:
                         with timing_lock:
                             digitize_times[ts] = max(
                                 digitize_times.get(ts, 0.0),
                                 _time.perf_counter() - t0_box[0],
                             )
-                    for ch in task.inputs:
-                        if not self.graph.channel(ch).static:
-                            channels[ch].consume(ins[ch], ts)
+                    for ch, channel, conn in stream_pairs:
+                        channel.consume(conn, ts)
             except ChannelPoisoned:
                 pass
             except BaseException as exc:  # noqa: BLE001 - reported to caller

@@ -35,6 +35,7 @@ its item is collected.
 from __future__ import annotations
 
 import itertools
+import os
 import pickle
 import queue
 import threading
@@ -61,13 +62,103 @@ __all__ = [
     "ChannelBroker",
     "ProcessChannel",
     "ShmRing",
+    "StepBatch",
     "WorkerLink",
+    "calibrate_shm_threshold",
     "decode_value",
+    "resolve_shm_threshold",
 ]
 
-#: Arrays smaller than this travel as pickles — a shared-memory segment
-#: has fixed open/mmap overhead that only pays off for real frames.
+#: Fallback pickle/shm crossover when calibration is unavailable.  The
+#: *active* threshold is resolved at broker start (see
+#: :func:`resolve_shm_threshold`): ``REPRO_SHM_THRESHOLD`` wins, else a
+#: micro-calibration measures where shared memory actually beats pickling
+#: on this host, else this default.
 SHM_THRESHOLD_BYTES = 4096
+
+#: Cached calibration result (module global so forked workers inherit it).
+_ACTIVE_SHM_THRESHOLD: Optional[int] = None
+
+
+def calibrate_shm_threshold(
+    sizes: tuple[int, ...] = (1 << 10, 2 << 10, 4 << 10, 8 << 10,
+                              16 << 10, 64 << 10),
+    repeats: int = 3,
+) -> int:
+    """Measure the pickle/shared-memory crossover point on this host.
+
+    For each candidate size, times a pickle round trip (dumps + loads)
+    against the shm transport's real per-item work: copy the array into a
+    segment, then attach + copy out + detach on the consumer side
+    (segment *creation* is excluded — the ring recycles segments, so it
+    amortizes away).  Returns the smallest size where shm wins, clamped
+    to ``[1 KiB, 1 MiB]``; returns :data:`SHM_THRESHOLD_BYTES` when shm
+    never wins in the sweep or shared memory is unavailable.
+    """
+    if _shm is None:  # pragma: no cover - platforms without shm
+        return SHM_THRESHOLD_BYTES
+    import numpy as np
+
+    seg = _shm.SharedMemory(create=True, size=max(sizes))
+    try:
+        for size in sorted(sizes):
+            arr = np.arange(size, dtype=np.uint8)
+            t_pickle = min(
+                _timed(lambda: pickle.loads(
+                    pickle.dumps(arr, protocol=pickle.HIGHEST_PROTOCOL)))
+                for _ in range(repeats)
+            )
+
+            def _shm_roundtrip() -> None:
+                view = np.frombuffer(seg.buf, dtype=np.uint8, count=size)
+                np.copyto(view, arr)
+                del view
+                peer = _shm.SharedMemory(name=seg.name)
+                try:
+                    out = np.frombuffer(peer.buf, dtype=np.uint8,
+                                        count=size).copy()
+                    del out
+                finally:
+                    peer.close()
+
+            t_shm = min(_timed(_shm_roundtrip) for _ in range(repeats))
+            if t_shm < t_pickle:
+                return max(1 << 10, min(size, 1 << 20))
+        return SHM_THRESHOLD_BYTES
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def _timed(fn) -> float:
+    t0 = _time.perf_counter()
+    fn()
+    return _time.perf_counter() - t0
+
+
+def resolve_shm_threshold(force_calibrate: bool = False) -> int:
+    """The active pickle/shm crossover in bytes.
+
+    Priority: the ``REPRO_SHM_THRESHOLD`` environment variable (tests and
+    deployments pin it for determinism), then the cached
+    :func:`calibrate_shm_threshold` measurement, then the
+    :data:`SHM_THRESHOLD_BYTES` default.  :class:`ChannelBroker` resolves
+    this once at construction — before any worker forks — so the whole
+    worker fleet inherits one consistent threshold.
+    """
+    global _ACTIVE_SHM_THRESHOLD
+    env = os.environ.get("REPRO_SHM_THRESHOLD")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    if _ACTIVE_SHM_THRESHOLD is None or force_calibrate:
+        try:
+            _ACTIVE_SHM_THRESHOLD = calibrate_shm_threshold()
+        except Exception:  # pragma: no cover - calibration is best-effort
+            _ACTIVE_SHM_THRESHOLD = SHM_THRESHOLD_BYTES
+    return _ACTIVE_SHM_THRESHOLD
 
 
 class BrokerDied(STMError):
@@ -87,7 +178,11 @@ def _as_shmable(value: Any):
         import numpy as np
     except ImportError:  # pragma: no cover - numpy is a hard dep in practice
         return None
-    if isinstance(value, np.ndarray) and value.nbytes >= SHM_THRESHOLD_BYTES:
+    if (
+        isinstance(value, np.ndarray)
+        and not value.dtype.hasobject
+        and value.nbytes >= resolve_shm_threshold()
+    ):
         return np.ascontiguousarray(value)
     return None
 
@@ -150,8 +245,15 @@ def encode_value(value: Any, ring: Optional[ShmRing] = None, ts: int = -1):
     """
     arr = _as_shmable(value) if ring is not None else None
     if arr is not None:
+        import numpy as np
+
         seg = ring.acquire(arr.nbytes)
-        seg.buf[: arr.nbytes] = arr.tobytes()
+        # Copy straight into the segment's mmap: one memcpy, no tobytes()
+        # intermediate.  The borrowing view must be dropped before the
+        # segment can ever be closed.
+        view = np.frombuffer(seg.buf, dtype=arr.dtype, count=arr.size)
+        np.copyto(view.reshape(arr.shape), arr)
+        del view
         ring.occupy(ts, seg)
         return ("shm", seg.name, arr.shape, arr.dtype.str, arr.nbytes)
     return ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
@@ -186,13 +288,22 @@ def decode_value(encoded) -> Any:
 # ---------------------------------------------------------------------------
 #
 # Request (worker -> broker): (worker_id, seq, op, channel, conn_id, args)
-#   ops with a reply:   put, get, try_get, consume
+#   ops with a reply:   put, get, try_get, consume, step
 #   fire-and-forget:    fatal (exc text), done (merged buffers), detach
 # Reply (broker -> worker): (seq, status, data)
 #   status: "ok" | "miss" | "timeout" | "poisoned" | "error"
 #   put "ok" data:   tuple of this connection's timestamps collected since
 #                    the previous reply (ring recycling feed)
 #   get "ok" data:   (ts, encoded_value)
+#   step args:       (consumes, puts, gets, timeout, replay) — one frame's
+#                    coalesced traffic.  consumes: ((channel, conn, ts),...)
+#                    applied IMMEDIATELY on arrival (even while the step
+#                    waits — withholding them would deadlock pipelines);
+#                    puts: ((channel, conn, ts, encoded, size),...) and
+#                    gets: ((channel, conn, ts),...) applied as they
+#                    become possible, each exactly once.
+#   step "ok" data:  (get results aligned with the request,
+#                     ((channel, conn, freed_timestamps),...) ring feed)
 
 _STOP = ("-stop-", -1, "stop", "", 0, ())
 
@@ -210,6 +321,32 @@ class _Waiter:
     encoded: Any = None
     size: int = 0
     replay: bool = False
+
+
+@dataclass
+class _StepWaiter:
+    """One coalesced frame-step parked inside the broker.
+
+    ``consumes`` are applied once, on first dispatch; ``puts`` entries
+    are ``[channel, conn_id, ts, encoded, size, applied]`` and ``gets``
+    entries ``[channel, conn_id, ts, result-or-None]`` — per-sub-op
+    completion flags make retries idempotent.
+    """
+
+    worker: int
+    seq: int
+    deadline: Optional[float]
+    consumes: tuple
+    puts: list
+    gets: list
+    replay: bool = False
+    consumed: bool = False
+
+    def channels(self) -> set[str]:
+        names = {c[0] for c in self.consumes}
+        names.update(p[0] for p in self.puts)
+        names.update(g[0] for g in self.gets)
+        return names
 
 
 @dataclass
@@ -254,6 +391,10 @@ class ChannelBroker:
             from multiprocessing import resource_tracker
 
             resource_tracker.ensure_running()
+        # Resolve the pickle/shm crossover NOW, before any worker forks:
+        # children inherit the calibrated module global, so the whole
+        # fleet encodes with one consistent threshold.
+        self.shm_threshold = resolve_shm_threshold()
         self.requests = _mp_context().Queue()
         self._replies: dict[int, Any] = {}
         self.channels: dict[str, _BrokerChannel] = {
@@ -268,6 +409,14 @@ class ChannelBroker:
         self._thread: Optional[threading.Thread] = None
         self._t0 = _time.perf_counter()
         self._lock = threading.Lock()
+        #: parent-side waiters (zero-round-trip collector path) sleep here
+        self._cond = threading.Condition(self._lock)
+        #: parked coalesced steps, retried to fixpoint after every mutation
+        self._steps: list[_StepWaiter] = []
+        #: requests served, by op — the broker round-trip accounting the
+        #: scaling benchmark reads (local_* entries are lock-path calls
+        #: that cost no queue round trip)
+        self.op_counts: dict[str, int] = {}
 
     # -- parent-side setup --------------------------------------------------
 
@@ -323,12 +472,60 @@ class ChannelBroker:
             self._observe(channel, "get", got_ts, self.conn(conn_id).task)
             return got_ts, decode_value(encoded)
 
+    def local_get_blocking(self, channel: str, conn_id: int, ts: Timestamp,
+                           timeout: Optional[float] = None) -> tuple[int, Any]:
+        """Blocking parent-side get with ZERO broker round trips.
+
+        The parent shares the broker's address space, so collector threads
+        wait on the broker's condition variable (notified after every
+        served request) instead of sending get requests through the queue
+        — the per-frame reply traffic for terminal channels disappears.
+        Raises :class:`TimeoutError` / :class:`ChannelPoisoned` /
+        :class:`~repro.errors.ItemConsumed` like the proxy's ``get``.
+        """
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        with self._cond:
+            while True:
+                bc = self.channels[channel]
+                if bc.poisoned:
+                    raise ChannelPoisoned(f"channel {channel!r} poisoned")
+                conn = self.conn(conn_id)
+                try:
+                    got_ts, encoded = bc.stm.get(conn, ts)
+                except ItemUnavailable:
+                    pass
+                else:
+                    self._observe(channel, "get", got_ts, conn.task)
+                    self.op_counts["local_get"] = (
+                        self.op_counts.get("local_get", 0) + 1
+                    )
+                    return got_ts, decode_value(encoded)
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"local get from {channel!r} timed out"
+                        )
+                self._cond.wait(remaining if remaining is not None else 0.1)
+
     def local_consume(self, channel: str, conn_id: int, ts: int) -> None:
-        with self._lock:
+        with self._cond:
             self._consume_locked(channel, conn_id, ts)
+            self.op_counts["local_consume"] = (
+                self.op_counts.get("local_consume", 0) + 1
+            )
             # A parent-side consume frees capacity like any other: blocked
-            # putters must get their retry.
+            # putters and parked steps must get their retry.
             self._wake_waiters(self.channels[channel])
+            self._retry_steps()
+            self._cond.notify_all()
+
+    def roundtrips(self) -> int:
+        """Total queue round trips served (requests that got a reply)."""
+        with self._lock:
+            return sum(self.op_counts.get(op, 0)
+                       for op in ("put", "get", "try_get", "consume", "step"))
 
     def put_time(self, channel: str, ts: int) -> Optional[float]:
         """Wall-clock time (relative to broker start) ``ts`` was put."""
@@ -350,9 +547,10 @@ class ChannelBroker:
         self._unlink_all()
 
     def poison_all(self) -> None:
-        with self._lock:
+        with self._cond:
             for name in self.channels:
                 self._poison_locked(name)
+            self._cond.notify_all()
 
     @property
     def now(self) -> float:
@@ -386,20 +584,26 @@ class ChannelBroker:
             try:
                 msg = self.requests.get(timeout=0.02)
             except queue.Empty:
-                with self._lock:
+                with self._cond:
                     self._expire_waiters()
+                    self._cond.notify_all()
                 continue
             if msg[2] == "stop":
+                with self._cond:
+                    self._cond.notify_all()
                 return
             try:
-                with self._lock:
+                with self._cond:
                     self._dispatch(msg)
+                    self._retry_steps()
                     self._expire_waiters()
+                    self._cond.notify_all()
             except Exception as exc:  # pragma: no cover - broker bug guard
                 self.errors.append(f"broker: {exc!r}")
-                with self._lock:
+                with self._cond:
                     for name in self.channels:
                         self._poison_locked(name)
+                    self._cond.notify_all()
 
     def _reply(self, worker: int, seq: int, status: str, data: Any = None) -> None:
         q = self._replies.get(worker)
@@ -412,6 +616,7 @@ class ChannelBroker:
 
     def _dispatch(self, msg) -> None:
         worker, seq, op, channel, conn_id, args = msg
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
         if op == "fatal":
             self.errors.append(args)
             for name in self.channels:
@@ -419,6 +624,19 @@ class ChannelBroker:
             return
         if op == "done":
             self.done_payloads[worker] = args
+            return
+        if op == "step":
+            consumes, puts, gets, timeout, replay = args
+            st = _StepWaiter(
+                worker=worker, seq=seq, deadline=self._deadline(timeout),
+                consumes=tuple(consumes),
+                puts=[list(p) + [False] for p in puts],
+                gets=[list(g) + [None] for g in gets],
+                replay=replay,
+            )
+            completed, _ = self._try_step(st)
+            if not completed:
+                self._steps.append(st)
             return
         bc = self.channels[channel]
         if op == "put":
@@ -475,6 +693,32 @@ class ChannelBroker:
 
     # -- blocking semantics -------------------------------------------------
 
+    def _apply_put(self, bc: _BrokerChannel, conn_id: int, ts: int,
+                   encoded: Any, size: int, replay: bool) -> None:
+        """Insert one item with full bookkeeping (caller checked capacity).
+
+        With ``replay=True`` a :class:`~repro.errors.DuplicateTimestamp`
+        is an idempotent success — at-least-once delivery after a worker
+        respawn: the item from the first attempt survived in the parent.
+        Other STM errors propagate to the caller.
+        """
+        conn = self.conn(conn_id)
+        try:
+            bc.stm.put(conn, ts, encoded, size=size, time=self.now)
+        except STMError as exc:
+            from repro.errors import DuplicateTimestamp
+
+            if replay and isinstance(exc, DuplicateTimestamp):
+                return
+            raise
+        bc.producers[ts] = (conn_id, encoded)
+        bc.put_times[ts] = self.now
+        if ts > self._put_hw.get(conn_id, -1):
+            self._put_hw[conn_id] = ts
+        if encoded[0] == "shm":
+            bc.segment_names.add(encoded[1])
+        self._observe(bc.stm.name, "put", ts, conn.task)
+
     def _try_put(self, bc: _BrokerChannel, w: _Waiter) -> None:
         if bc.poisoned:
             self._reply(w.worker, w.seq, "poisoned")
@@ -482,28 +726,11 @@ class ChannelBroker:
         if bc.stm.is_full:
             bc.waiters.append(w)
             return
-        conn = self.conn(w.conn_id)
         try:
-            bc.stm.put(conn, w.ts, w.encoded, size=w.size, time=self.now)
+            self._apply_put(bc, w.conn_id, w.ts, w.encoded, w.size, w.replay)
         except STMError as exc:
-            from repro.errors import DuplicateTimestamp
-
-            if w.replay and isinstance(exc, DuplicateTimestamp):
-                # At-least-once delivery after a worker respawn: the item
-                # from the first attempt survived in the parent, so the
-                # replayed put is an idempotent success.
-                self._reply(w.worker, w.seq, "ok",
-                            tuple(bc.freed.pop(w.conn_id, ())))
-                return
             self._reply(w.worker, w.seq, "error", pickle.dumps(exc))
             return
-        bc.producers[w.ts] = (w.conn_id, w.encoded)
-        bc.put_times[w.ts] = self.now
-        if w.ts > self._put_hw.get(w.conn_id, -1):
-            self._put_hw[w.conn_id] = w.ts
-        if w.encoded[0] == "shm":
-            bc.segment_names.add(w.encoded[1])
-        self._observe(bc.stm.name, "put", w.ts, conn.task)
         self._reply(w.worker, w.seq, "ok", tuple(bc.freed.pop(w.conn_id, ())))
         self._wake_waiters(bc)
 
@@ -522,6 +749,102 @@ class ChannelBroker:
             return
         self._observe(bc.stm.name, "get", got_ts, conn.task)
         self._reply(w.worker, w.seq, "ok", (got_ts, encoded))
+
+    # -- coalesced steps ----------------------------------------------------
+
+    def _try_step(self, st: _StepWaiter) -> tuple[bool, bool]:
+        """Advance one step as far as possible: ``(completed, progressed)``.
+
+        Completed steps (replied ok/error/poisoned) must not be re-parked.
+        Consumes are applied exactly once, on the FIRST attempt — even if
+        puts or gets then park.  Withholding a parked step's consumes
+        would hold upstream capacity hostage and deadlock pipelines of
+        bounded channels; applying them early only ever frees resources.
+        """
+        progressed = False
+        for name in st.channels():
+            if self.channels[name].poisoned:
+                self._reply(st.worker, st.seq, "poisoned")
+                return True, True
+        if not st.consumed:
+            st.consumed = True
+            touched = set()
+            for channel, conn_id, ts in st.consumes:
+                try:
+                    self._consume_locked(channel, conn_id, ts)
+                except STMError as exc:
+                    self._reply(st.worker, st.seq, "error", pickle.dumps(exc))
+                    return True, True
+                touched.add(channel)
+            if touched:
+                progressed = True
+                for name in touched:
+                    self._wake_waiters(self.channels[name])
+        for entry in st.puts:
+            if entry[5]:
+                continue
+            bc = self.channels[entry[0]]
+            if bc.stm.is_full:
+                continue
+            try:
+                self._apply_put(bc, entry[1], entry[2], entry[3], entry[4],
+                                st.replay)
+            except STMError as exc:
+                self._reply(st.worker, st.seq, "error", pickle.dumps(exc))
+                return True, True
+            entry[5] = True
+            progressed = True
+            self._wake_waiters(bc)
+        for entry in st.gets:
+            if entry[3] is not None:
+                continue
+            bc = self.channels[entry[0]]
+            conn = self.conn(entry[1])
+            try:
+                got_ts, encoded = bc.stm.get(conn, entry[2])
+            except ItemUnavailable:
+                continue
+            except ItemConsumed as exc:
+                self._reply(st.worker, st.seq, "error", pickle.dumps(exc))
+                return True, True
+            self._observe(entry[0], "get", got_ts, conn.task)
+            entry[3] = (got_ts, encoded)
+            progressed = True
+        if all(e[5] for e in st.puts) and all(e[3] is not None for e in st.gets):
+            freed = []
+            seen: set[tuple[str, int]] = set()
+            for entry in st.puts:
+                key = (entry[0], entry[1])
+                if key in seen:
+                    continue
+                seen.add(key)
+                timestamps = tuple(self.channels[entry[0]].freed.pop(entry[1], ()))
+                if timestamps:
+                    freed.append((entry[0], entry[1], timestamps))
+            self._reply(st.worker, st.seq, "ok",
+                        (tuple(e[3] for e in st.gets), tuple(freed)))
+            return True, True
+        return False, progressed
+
+    def _retry_steps(self) -> None:
+        """Retry parked steps to fixpoint after any mutation.
+
+        One step's progress (a consume freeing capacity, a put landing an
+        item) can unblock another, so the loop runs until a full pass
+        makes no progress.  Each pass also re-wakes legacy per-channel
+        waiters through :meth:`_try_step`'s internal calls.
+        """
+        while self._steps:
+            progressed_any = False
+            remaining = []
+            for st in self._steps:
+                completed, progressed = self._try_step(st)
+                progressed_any |= progressed
+                if not completed:
+                    remaining.append(st)
+            self._steps = remaining
+            if not progressed_any:
+                return
 
     def _consume_locked(self, channel: str, conn_id: int, ts: int) -> None:
         bc = self.channels[channel]
@@ -562,6 +885,13 @@ class ChannelBroker:
                 else:
                     keep.append(w)
             bc.waiters = keep
+        keep_steps = []
+        for st in self._steps:
+            if st.deadline is not None and now >= st.deadline:
+                self._reply(st.worker, st.seq, "timeout")
+            else:
+                keep_steps.append(st)
+        self._steps = keep_steps
 
     def _poison_locked(self, name: str) -> None:
         bc = self.channels[name]
@@ -572,6 +902,13 @@ class ChannelBroker:
         for w in bc.waiters:
             self._reply(w.worker, w.seq, "poisoned")
         bc.waiters = []
+        still = []
+        for st in self._steps:
+            if name in st.channels():
+                self._reply(st.worker, st.seq, "poisoned")
+            else:
+                still.append(st)
+        self._steps = still
 
     def _unlink_all(self) -> None:
         """Reclaim every shared-memory segment the run created."""
@@ -735,3 +1072,80 @@ class ProcessChannel:
 
     def __repr__(self) -> str:
         return f"ProcessChannel({self.name!r})"
+
+
+class StepBatch:
+    """Coalesce one frame's STM traffic into a single broker round trip.
+
+    A task's frame loop queues the previous frame's puts and consumes
+    plus the current frame's gets, then :meth:`commit` ships them as one
+    ``step`` request.  The broker applies the consumes immediately (even
+    while the step waits for capacity or data — so coalescing can never
+    withhold resources and deadlock a pipeline), lands puts and gets as
+    they become possible, and replies once everything has been applied.
+    The reply carries the get results plus the per-producer freed-
+    timestamp feed, which is routed back to each channel's shm ring.
+
+    Gets are restricted to exact integer timestamps: a cached wildcard
+    resolution could go stale between the park and the retry, exact
+    timestamps cannot — and exact gets are all the schedule-driven
+    runtimes ever issue.
+    """
+
+    def __init__(self, link: WorkerLink, replay: bool = False) -> None:
+        self._link = link
+        self._replay = replay
+        self._consumes: list[tuple[str, int, int]] = []
+        self._puts: list[tuple[str, int, int, Any, int]] = []
+        self._gets: list[tuple[str, int, int]] = []
+        self._rings: dict[tuple[str, int], ProcessChannel] = {}
+
+    def __len__(self) -> int:
+        return len(self._consumes) + len(self._puts) + len(self._gets)
+
+    def consume(self, chan: ProcessChannel, conn_id: int, ts: int) -> None:
+        self._consumes.append((chan.name, conn_id, ts))
+
+    def put(self, chan: ProcessChannel, conn_id: int, ts: int, value: Any,
+            size: int = 0) -> None:
+        encoded = encode_value(value, chan._ring, ts)
+        self._puts.append((chan.name, conn_id, ts, encoded, size))
+        self._rings[(chan.name, conn_id)] = chan
+
+    def get(self, chan: ProcessChannel, conn_id: int, ts: int) -> None:
+        if not isinstance(ts, int):
+            raise STMError(
+                f"coalesced gets need exact timestamps, got {ts!r}"
+            )
+        self._gets.append((chan.name, conn_id, ts))
+
+    def commit(self, timeout: Optional[float] = None) -> list[tuple[int, Any]]:
+        """Ship the batch; returns decoded get results in queue order."""
+        if not (self._consumes or self._puts or self._gets):
+            return []
+        status, data = self._link.call(
+            "step", "", 0,
+            (tuple(self._consumes), tuple(self._puts), tuple(self._gets),
+             timeout, self._replay),
+            timeout,
+        )
+        if status == "ok":
+            results, freed = data
+            for channel, conn_id, timestamps in freed:
+                chan = self._rings.get((channel, conn_id))
+                if chan is not None:
+                    chan._ring.release(timestamps)
+            out = [(got_ts, decode_value(encoded)) for got_ts, encoded in results]
+            self._consumes.clear()
+            self._puts.clear()
+            self._gets.clear()
+            return out
+        if status == "poisoned":
+            raise ChannelPoisoned("coalesced step hit a poisoned channel")
+        if status == "timeout":
+            raise TimeoutError("coalesced step timed out")
+        if status == "error":
+            raise pickle.loads(data)
+        raise STMError(  # pragma: no cover - protocol guard
+            f"step: unexpected reply {status!r}"
+        )

@@ -3,13 +3,17 @@
 The same tracker graph and the same schedule run on all three substrates
 behind ``StaticExecutor(runtime=...)``; the STM item streams they produce
 must be indistinguishable — identical per-channel put/consume/collect
-counts, identical completed-frame sets, and (between the two live
-substrates) identical output values.  Two schedules are covered: a fully
-serial placement and a data-parallel one (T4 as ``dp2``), so the chunked
-execution path is held to the same contract.
+counts, identical completed-frame sets, and (between the live
+substrates) identical output values.  The process runtime runs twice,
+with broker round-trip coalescing on and off — coalescing is a transport
+optimization and must be invisible in the item streams.  Two schedules
+are covered: a fully serial placement and a data-parallel one (T4 as
+``dp2``), so the chunked execution path is held to the same contract.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -24,7 +28,8 @@ pytestmark = pytest.mark.slow
 
 N_FRAMES = 4
 N_MODELS = 2
-SUBSTRATES = ("sim", "threaded", "process")
+SUBSTRATES = ("sim", "threaded", "process", "process_uncoalesced")
+LIVE = ("threaded", "process", "process_uncoalesced")
 
 
 def _fresh_setup():
@@ -69,11 +74,24 @@ def run_on(substrate: str, make_schedule) -> object:
     live, statics = _fresh_setup()
     state = State(n_models=N_MODELS)
     sched = make_schedule(live, state)
-    ex = StaticExecutor(
-        live, state, SINGLE_NODE_SMP(4), sched,
-        runtime=substrate, static_inputs=statics,
-    )
-    return ex.run(N_FRAMES)
+    runtime = substrate
+    env_coalesce = None
+    if substrate == "process_uncoalesced":
+        runtime = "process"
+        env_coalesce = os.environ.get("REPRO_COALESCE")
+        os.environ["REPRO_COALESCE"] = "0"
+    try:
+        ex = StaticExecutor(
+            live, state, SINGLE_NODE_SMP(4), sched,
+            runtime=runtime, static_inputs=statics,
+        )
+        return ex.run(N_FRAMES)
+    finally:
+        if substrate == "process_uncoalesced":
+            if env_coalesce is None:
+                del os.environ["REPRO_COALESCE"]
+            else:
+                os.environ["REPRO_COALESCE"] = env_coalesce
 
 
 @pytest.fixture(scope="module", params=["serial", "dp"])
@@ -115,16 +133,19 @@ class TestItemStreams:
     def test_per_channel_counts_identical(self, runs):
         _, results = runs
         reference = item_counts(results["sim"])
-        for sub in ("threaded", "process"):
+        for sub in LIVE:
             assert item_counts(results[sub]) == reference, sub
 
     def test_live_channel_stats_identical(self, runs):
-        """Threaded and process runs see the same full counter set."""
+        """All live runs see the same full counter set — including the
+        process runtime in both coalescing modes, so batching ops into
+        step messages provably changes no put/get/consume/collect."""
         _, results = runs
         t_stats = results["threaded"].meta["channel_stats"]
-        p_stats = results["process"].meta["channel_stats"]
-        for ch in streaming_channels(results["threaded"]):
-            assert t_stats[ch] == p_stats[ch], ch
+        for sub in ("process", "process_uncoalesced"):
+            p_stats = results[sub].meta["channel_stats"]
+            for ch in streaming_channels(results["threaded"]):
+                assert t_stats[ch] == p_stats[ch], (sub, ch)
 
     def test_every_frame_completes_everywhere(self, runs):
         _, results = runs
@@ -135,9 +156,23 @@ class TestItemStreams:
     def test_live_substrates_agree_on_values(self, runs):
         _, results = runs
         t_locs = results["threaded"].meta["outputs"]["model_locations"]
-        p_locs = results["process"].meta["outputs"]["model_locations"]
-        for ts in range(N_FRAMES):
-            assert t_locs[ts] == p_locs[ts], ts
+        for sub in ("process", "process_uncoalesced"):
+            p_locs = results[sub].meta["outputs"]["model_locations"]
+            for ts in range(N_FRAMES):
+                assert t_locs[ts] == p_locs[ts], (sub, ts)
+
+    def test_coalescing_modes_actually_differ(self, runs):
+        """The two process runs took different transports (or the
+        comparison above proved nothing): coalescing on uses step
+        messages and strictly fewer round trips."""
+        _, results = runs
+        on = results["process"].meta
+        off = results["process_uncoalesced"].meta
+        assert on["coalesce"] is True
+        assert off["coalesce"] is False
+        assert "step" in on["broker_ops"]
+        assert "step" not in off["broker_ops"]
+        assert on["broker_roundtrips"] < off["broker_roundtrips"]
 
     def test_gc_reclaims_equally(self, runs):
         _, results = runs
@@ -152,7 +187,7 @@ class TestLatencyInvariants:
 
     def test_live_latencies_positive_and_ordered(self, runs):
         _, results = runs
-        for sub in ("threaded", "process"):
+        for sub in LIVE:
             res = results[sub]
             for ts in res.completed:
                 assert res.completion_times[ts] >= res.digitize_times[ts], (sub, ts)

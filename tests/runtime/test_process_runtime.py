@@ -84,6 +84,44 @@ class TestBasicRun:
         assert by_task["dbl"] == set(range(4))
 
 
+class TestCoalescing:
+    def test_defaults_on(self):
+        rt = ProcessRuntime(chain_graph_live(), State(n_models=1),
+                            placement={"src": 0, "dbl": 1})
+        assert rt.coalesce is True
+
+    def test_env_var_turns_it_off(self, monkeypatch):
+        for value in ("0", "false", "off"):
+            monkeypatch.setenv("REPRO_COALESCE", value)
+            rt = ProcessRuntime(chain_graph_live(), State(n_models=1),
+                                placement={"src": 0, "dbl": 1})
+            assert rt.coalesce is False, value
+
+    def test_kwarg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COALESCE", "0")
+        rt = ProcessRuntime(chain_graph_live(), State(n_models=1),
+                            placement={"src": 0, "dbl": 1}, coalesce=True)
+        assert rt.coalesce is True
+
+    def test_modes_agree_and_coalescing_saves_roundtrips(self):
+        results = {}
+        for coalesce in (True, False):
+            res = ProcessRuntime(
+                chain_graph_live(), State(n_models=1), op_timeout=30.0,
+                placement={"src": 0, "dbl": 1}, coalesce=coalesce,
+            ).run(5)
+            assert sorted(res.outputs["b"]) == list(range(5))
+            results[coalesce] = res
+        on, off = results[True], results[False]
+        for ts in range(5):
+            np.testing.assert_array_equal(on.outputs["b"][ts],
+                                          off.outputs["b"][ts])
+        assert on.channel_stats == off.channel_stats
+        assert on.meta["broker_roundtrips"] < off.meta["broker_roundtrips"]
+        assert "step" in on.meta["broker_ops"]
+        assert "step" not in off.meta["broker_ops"]
+
+
 class TestScheduleDriven:
     def test_tracker_dp_schedule(self):
         """A dp2 placement runs T4 through the worker's chunk pool."""
