@@ -153,6 +153,12 @@ RULES: dict[str, Rule] = _catalog(
          "A single-node-failure shape has no shape-table entry; a crash of "
          "that node would raise ShapeLookupError instead of failing over.",
          "rebuild the ShapeTable with max_node_failures >= 1"),
+    Rule("S013", "gap-claim-invalid", E,
+         "A schedule's optimality-gap certificate does not hold: the "
+         "claimed lower bound is above the independently re-derived one, "
+         "the claimed gap disagrees with latency/lower_bound - 1, or a "
+         "bounded-rung schedule exceeds its promised (1+eps) factor.",
+         "re-solve through repro.approx; never edit certificates by hand"),
     # -- pass 2b: fleet packing verification ----------------------------------
     Rule("F001", "fleet-capacity-overflow", E,
          "A fleet packing violates carve exclusivity or node capacity: a "

@@ -1,4 +1,4 @@
-"""Pass 2: schedule and table verification (rules ``S001``-``S012``).
+"""Pass 2: schedule and table verification (rules ``S001``-``S013``).
 
 The verifier re-derives every claim a schedule artifact makes from first
 principles — placement legality against the cluster shape, precedence
@@ -209,6 +209,86 @@ def verify_solution(
                 f"II={piped.period:g}s is below the capacity bound "
                 f"{area_bound:g}s ({piped.n_procs} procs)",
             )
+
+    # S013 — the optimality-gap certificate (repro.approx ladder).  The
+    # static root bound is re-derived independently, so a certificate that
+    # claims a tighter bound (or a smaller gap) than the artifact supports
+    # is an ERROR, never a silent quality loss.  Solutions without a
+    # certificate (exact legacy artifacts) are exempt.
+    cert = solution.certificate
+    if cert is not None:
+        from repro.core.enumerate import SearchProblem, static_lower_bound
+
+        tol = max(_EPS, 1e-9 * max(solution.latency, 1.0))
+        if cert.policy not in ("exact", "bounded", "list"):
+            report.add("S013", loc, f"unknown ladder policy {cert.policy!r}")
+        elif not all(
+            math.isfinite(v)
+            for v in (cert.epsilon, cert.lower_bound, cert.root_bound, cert.gap_bound)
+        ) or cert.epsilon < 0:
+            report.add(
+                "S013", loc, f"certificate carries non-finite or negative fields: {cert}"
+            )
+        else:
+            try:
+                problem = SearchProblem.from_graph(
+                    graph,
+                    state,
+                    max_workers=cert.dp_cap or cluster.procs_per_node,
+                )
+                root = static_lower_bound(problem, cluster)
+            except Exception:
+                root = None  # graph-level faults are pass-1 findings
+            if root is not None and cert.root_bound > root + tol:
+                report.add(
+                    "S013",
+                    loc,
+                    f"claimed static bound {cert.root_bound:g}s exceeds the "
+                    f"re-derived bound {root:g}s",
+                )
+            if cert.lower_bound > solution.latency + tol:
+                report.add(
+                    "S013",
+                    loc,
+                    f"claimed lower bound {cert.lower_bound:g}s exceeds the "
+                    f"achieved latency {solution.latency:g}s",
+                )
+            elif cert.lower_bound > 0:
+                rederived_gap = max(0.0, solution.latency / cert.lower_bound - 1.0)
+                if rederived_gap > cert.gap_bound + 1e-9:
+                    report.add(
+                        "S013",
+                        loc,
+                        f"claimed gap {cert.gap_bound:g} understates "
+                        f"latency/lower_bound - 1 = {rederived_gap:g}",
+                    )
+            if cert.policy == "exact" and not _close(
+                cert.lower_bound, solution.latency
+            ):
+                report.add(
+                    "S013",
+                    loc,
+                    f"exact rung must certify zero gap, but lower bound "
+                    f"{cert.lower_bound:g}s != latency {solution.latency:g}s",
+                )
+            if cert.policy == "bounded" and cert.gap_bound > cert.epsilon + 1e-9:
+                report.add(
+                    "S013",
+                    loc,
+                    f"bounded rung promised gap <= eps={cert.epsilon:g} but "
+                    f"certifies {cert.gap_bound:g}",
+                )
+            if (
+                cert.policy == "list"
+                and root is not None
+                and cert.lower_bound > root + tol
+            ):
+                report.add(
+                    "S013",
+                    loc,
+                    f"list rung's lower bound {cert.lower_bound:g}s can only "
+                    f"be the static bound {root:g}s",
+                )
     return report
 
 

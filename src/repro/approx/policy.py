@@ -1,0 +1,272 @@
+"""The solver ladder: exact → bounded-suboptimality → list scheduling.
+
+The paper can afford exhaustive enumeration because its applications have
+"a very small number of tasks" and a small state set.  The fleet layer,
+degraded-shape tables and heterogeneous widths multiply (state × width ×
+shape) until exact branch and bound becomes the admission-latency
+bottleneck — the *enumeration cliff*.  This module climbs down that cliff
+one certified rung at a time:
+
+1. **exact** — :func:`repro.core.enumerate.search_schedules` run to
+   completion; the served latency *is* L*.
+2. **bounded** — the same search with every admissible lower bound
+   inflated by ``(1 + ε)`` (weighted branch and bound): any served
+   schedule is certified within ``(1 + ε)`` of L*, and the search stops
+   at the first incumbent within ε of the static root bound.
+3. **list** — the HEFT list scheduler (:mod:`repro.sched.listsched`),
+   with the realized gap bounded against the critical-path/load root
+   bound.
+
+Every rung attaches a :class:`~repro.core.optimal.GapCertificate`, and
+rule ``S013`` (:mod:`repro.analysis`) re-derives the root bound
+independently — approximation stays as auditable as exactness.
+
+A policy is *request-shaped*: it turns ``(scheduler, graph, state)`` into
+one picklable :class:`~repro.core.parallel.SolveRequest`, so every
+existing fan-out path — process-pool table builds, the on-disk cache,
+ShapeTable, fleet width banks — runs any rung unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from repro.core.optimal import OptimalScheduler, ScheduleSolution
+from repro.core.parallel import SolveRequest, execute_request, make_request, solve_many
+from repro.errors import ScheduleError
+from repro.graph.taskgraph import TaskGraph
+from repro.state import State
+
+__all__ = [
+    "SolvePolicy",
+    "ExactPolicy",
+    "BoundedPolicy",
+    "ListPolicy",
+    "PolicyLadder",
+    "resolve_policy",
+    "solve_states",
+]
+
+#: Default ε for the bounded rung when a spec string names no budget.
+DEFAULT_EPSILON = 0.1
+
+
+class SolvePolicy:
+    """One rung (or composition of rungs) of the solver ladder.
+
+    Subclasses override :meth:`request`; :meth:`solve` is the shared
+    in-process convenience path (used by the lazy table on a miss).
+    """
+
+    name: str = "abstract"
+
+    def request(
+        self,
+        scheduler: OptimalScheduler,
+        graph: TaskGraph,
+        state: State,
+        tag: Any = None,
+    ) -> SolveRequest:
+        """A picklable request that executes this policy for one state."""
+        raise NotImplementedError
+
+    def solve(
+        self,
+        graph: TaskGraph,
+        state: State,
+        scheduler: OptimalScheduler,
+        cache=None,
+    ) -> ScheduleSolution:
+        """Execute the policy in-process, through the cache when wired."""
+        request = self.request(scheduler, graph, state)
+        if cache is not None:
+            hit = cache.fetch(request)
+            if hit is not None:
+                return hit
+        solution = execute_request(request)
+        if cache is not None and isinstance(solution, ScheduleSolution):
+            cache.store(request, solution)
+        return solution
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ExactPolicy(SolvePolicy):
+    """Rung 1: the paper's exhaustive branch and bound, unchanged."""
+
+    name = "exact"
+
+    def request(self, scheduler, graph, state, tag=None) -> SolveRequest:
+        return scheduler.request(graph, state, tag=tag)
+
+
+class BoundedPolicy(SolvePolicy):
+    """Rung 2: weighted branch and bound, certified within ``(1 + ε)``.
+
+    ``epsilon=0`` is a valid budget and degenerates to the exact search
+    *bit for bit* — the request it builds is field-for-field identical to
+    :class:`ExactPolicy`'s, so even the cache digests coincide.
+    """
+
+    name = "bounded"
+
+    def __init__(self, epsilon: float = DEFAULT_EPSILON) -> None:
+        if epsilon < 0.0:
+            raise ScheduleError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def request(self, scheduler, graph, state, tag=None) -> SolveRequest:
+        return make_request(
+            graph,
+            state,
+            scheduler.cluster,
+            scheduler.comm,
+            mode="solve",
+            max_workers=scheduler.max_workers,
+            max_solutions=scheduler.max_solutions,
+            node_limit=scheduler.node_limit,
+            warm_start=scheduler.warm_start,
+            dominance=scheduler.dominance,
+            bound_inflation=self.epsilon,
+            tag=tag,
+        )
+
+    def __repr__(self) -> str:
+        return f"BoundedPolicy(epsilon={self.epsilon:g})"
+
+
+class ListPolicy(SolvePolicy):
+    """Rung 3: HEFT list scheduling; gap reported against the root bound."""
+
+    name = "list"
+
+    def request(self, scheduler, graph, state, tag=None) -> SolveRequest:
+        return make_request(
+            graph,
+            state,
+            scheduler.cluster,
+            scheduler.comm,
+            mode="list",
+            max_workers=scheduler.max_workers,
+            max_solutions=scheduler.max_solutions,
+            node_limit=scheduler.node_limit,
+            warm_start=scheduler.warm_start,
+            dominance=scheduler.dominance,
+            tag=tag,
+        )
+
+
+class PolicyLadder(SolvePolicy):
+    """All three rungs in one request: exact, then bounded, then list.
+
+    The exact stage runs under ``exact_budget`` branch-and-bound nodes;
+    blowing it escalates to the bounded stage under ``bounded_budget``;
+    blowing that serves the HEFT fallback.  Escalation happens *inside*
+    :func:`~repro.core.parallel.execute_request`, so it works identically
+    in-process and in pool workers, and the stage budgets are part of the
+    cache digest (they decide which rung answers).
+    """
+
+    name = "ladder"
+
+    def __init__(
+        self,
+        epsilon: float = DEFAULT_EPSILON,
+        exact_budget: int = 100_000,
+        bounded_budget: int = 500_000,
+    ) -> None:
+        if epsilon < 0.0:
+            raise ScheduleError(f"epsilon must be >= 0, got {epsilon}")
+        if exact_budget < 1 or bounded_budget < 1:
+            raise ScheduleError("ladder stage budgets must be >= 1")
+        self.epsilon = float(epsilon)
+        self.exact_budget = int(exact_budget)
+        self.bounded_budget = int(bounded_budget)
+
+    def request(self, scheduler, graph, state, tag=None) -> SolveRequest:
+        return make_request(
+            graph,
+            state,
+            scheduler.cluster,
+            scheduler.comm,
+            mode="solve",
+            max_workers=scheduler.max_workers,
+            max_solutions=scheduler.max_solutions,
+            node_limit=self.exact_budget,
+            warm_start=scheduler.warm_start,
+            dominance=scheduler.dominance,
+            ladder=((self.epsilon, self.bounded_budget),),
+            tag=tag,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PolicyLadder(epsilon={self.epsilon:g}, "
+            f"budgets={self.exact_budget}/{self.bounded_budget})"
+        )
+
+
+def resolve_policy(
+    spec: Union[None, str, SolvePolicy],
+) -> SolvePolicy:
+    """A :class:`SolvePolicy` from a spec string (or pass-through).
+
+    Accepted strings: ``"exact"``, ``"list"``, ``"bounded"`` /
+    ``"bounded:<ε>"`` and ``"ladder"`` / ``"ladder:<ε>"`` (default ε =
+    0.1).  ``None`` resolves to exact — the pre-ladder behavior.
+    """
+    if spec is None:
+        return ExactPolicy()
+    if isinstance(spec, SolvePolicy):
+        return spec
+    if not isinstance(spec, str):
+        raise ScheduleError(f"not a solve policy: {spec!r}")
+    name, _, arg = spec.partition(":")
+    try:
+        if name == "exact" and not arg:
+            return ExactPolicy()
+        if name == "list" and not arg:
+            return ListPolicy()
+        if name == "bounded":
+            return BoundedPolicy(float(arg) if arg else DEFAULT_EPSILON)
+        if name == "ladder":
+            return PolicyLadder(float(arg) if arg else DEFAULT_EPSILON)
+    except ValueError:
+        raise ScheduleError(f"malformed solve policy spec {spec!r}") from None
+    raise ScheduleError(
+        f"unknown solve policy {spec!r} "
+        "(expected exact | bounded[:eps] | list | ladder[:eps])"
+    )
+
+
+def solve_states(
+    graph: TaskGraph,
+    states: Sequence[State],
+    scheduler: OptimalScheduler,
+    policy: Union[None, str, SolvePolicy] = None,
+    cache=None,
+    workers: Optional[int] = None,
+) -> list[ScheduleSolution]:
+    """Solve a batch of states under one policy, cache- and pool-aware.
+
+    The batched analogue of :meth:`SolvePolicy.solve` — the same
+    fetch-pending-store dance :meth:`ScheduleTable.build` runs, exposed
+    for callers that want solutions without a table.
+    """
+    pol = resolve_policy(policy)
+    requests = [pol.request(scheduler, graph, state) for state in states]
+    results: list[Optional[ScheduleSolution]] = [None] * len(requests)
+    pending: list[int] = []
+    for i, request in enumerate(requests):
+        hit = cache.fetch(request) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+    solved = solve_many([requests[i] for i in pending], workers=workers)
+    for i, solution in zip(pending, solved):
+        results[i] = solution
+        if cache is not None:
+            cache.store(requests[i], solution)
+    return results  # type: ignore[return-value]

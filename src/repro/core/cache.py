@@ -11,7 +11,9 @@ of everything that determines its answer:
 * the cluster shape and node speeds,
 * the communication model's tier costs,
 * the solver parameters that affect the result set
-  (``max_solutions``, ``tolerance``, ``latency_slack``).
+  (``max_solutions``, ``tolerance``, ``latency_slack``,
+  ``bound_inflation``, and — for ladder requests — the per-stage node
+  budgets).
 
 Deliberately *excluded* from the key: the graph's display name, the
 warm-start incumbent and the dominance flag (both are proven
@@ -45,7 +47,15 @@ __all__ = [
 ]
 
 _CACHE_FORMAT = "repro.schedule_solution"
-_CACHE_VERSION = 1
+# Version 2: solutions carry gap certificates (repro.approx); the bump
+# retires every certificate-less entry written by older builds.
+_CACHE_VERSION = 2
+
+#: Request modes whose results are cacheable.  ``"solve"`` and ``"list"``
+#: are both deterministic functions of the digested content;
+#: ``"enumerate"`` results carry the full set S, which the materialization
+#: cap makes run-configuration dependent.
+_CACHEABLE_MODES = ("solve", "list")
 
 
 def default_cache_dir() -> Path:
@@ -91,8 +101,16 @@ def request_digest(request: SolveRequest) -> str:
             "max_solutions": request.max_solutions,
             "tolerance": request.tolerance,
             "latency_slack": request.latency_slack,
+            "bound_inflation": request.bound_inflation,
         },
     }
+    if request.ladder:
+        # A ladder's answer depends on which stage succeeds, which the
+        # per-stage node budgets decide — so, unlike the plain safety
+        # valve, they become result parameters here.
+        payload["ladder"] = [
+            [request.bound_inflation, request.node_limit]
+        ] + [[float(eps), int(limit)] for eps, limit in request.ladder]
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -139,15 +157,15 @@ class ScheduleCache:
     def fetch(self, request: SolveRequest) -> Optional[ScheduleSolution]:
         """The cached solution for ``request``, or ``None`` on a miss.
 
-        Only ``mode="solve"`` requests are cacheable (enumeration results
-        carry the full set S, which the cap makes run-configuration
-        dependent); other modes always miss.
+        Only ``mode="solve"`` and ``mode="list"`` requests are cacheable
+        (enumeration results carry the full set S, which the cap makes
+        run-configuration dependent); other modes always miss.
         """
         # Deferred import: serialize imports table which imports this module's
         # sibling parallel, so a top-level import would cycle.
         from repro.core.serialize import solution_from_dict
 
-        if request.mode != "solve":
+        if request.mode not in _CACHEABLE_MODES:
             self.stats.misses += 1
             return None
         path = self._path(request_digest(request))
@@ -180,7 +198,7 @@ class ScheduleCache:
         """Persist ``solution`` under ``request``'s digest (atomic write)."""
         from repro.core.serialize import solution_to_dict
 
-        if request.mode != "solve":
+        if request.mode not in _CACHEABLE_MODES:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {

@@ -65,6 +65,7 @@ __all__ = [
     "SearchProblem",
     "enumerate_schedules",
     "search_schedules",
+    "static_lower_bound",
     "warm_incumbent",
 ]
 
@@ -101,6 +102,18 @@ class EnumerationResult:
     pruned_dominance:
         Subtrees cut by the transposition table (identical partial
         placements reached through a different task interleaving).
+    lower_bound:
+        Certified lower bound on the true optimum L*.  An exact search
+        proves ``lower_bound == latency``; a bounded search
+        (``bound_inflation`` > 0) proves ``L* >= lower_bound`` from the
+        ε-pruning argument, so ``latency / lower_bound - 1`` bounds the
+        realized optimality gap.
+    root_bound:
+        The static critical-path/load bound at the search root
+        (:func:`static_lower_bound`) — independently re-derivable by the
+        analyzer, which is what makes the gap claim checkable.
+    bound_inflation:
+        The ε the search ran with (0.0 = exact).
     """
 
     latency: float
@@ -111,6 +124,9 @@ class EnumerationResult:
     elapsed_s: float = 0.0
     pruned_bound: int = 0
     pruned_dominance: int = 0
+    lower_bound: float = 0.0
+    root_bound: float = 0.0
+    bound_inflation: float = 0.0
 
     @property
     def pruned(self) -> int:
@@ -200,6 +216,55 @@ class SearchProblem:
         }
 
 
+def static_lower_bound(problem: SearchProblem, cluster: ClusterSpec) -> float:
+    """Admissible root bound on L* for ``problem`` on ``cluster``.
+
+    The empty-placement specialization of the search's internal bound,
+    exposed so certificates can be re-derived independently of any search
+    artifact (rule ``S013``): the maximum of
+
+    * the **critical path** — longest chain of fastest-variant durations,
+      divided by the fastest node speed (admissible on heterogeneous
+      clusters), communication priced at zero (admissible always); and
+    * the **load** — minimal total processor-time of all tasks spread
+      over every processor, ``sum(min workers x duration) / P``.
+
+    Deterministic, O(V + E), and a function of content only — two calls
+    with equal :meth:`SearchProblem.digest_payload` and equal cluster
+    shapes return bit-identical bounds.
+    """
+    if not problem.order_names:
+        return 0.0
+    fastest = max(cluster.node_speeds)
+    best_dur = {
+        name: min(v.duration for v in vs) / fastest
+        for name, vs in problem.variants.items()
+    }
+    rem_cp: dict[str, float] = {}
+    for name in reversed(problem.order_names):
+        tail = max((rem_cp[s] for s in problem.succs[name]), default=0.0)
+        rem_cp[name] = best_dur[name] + tail
+    bound = 0.0
+    est: dict[str, float] = {}
+    for name in problem.order_names:
+        start = max(
+            (est[p] + best_dur[p] for p in problem.preds[name]), default=0.0
+        )
+        est[name] = start
+        path = start + rem_cp[name]
+        if path > bound:
+            bound = path
+    load = (
+        sum(
+            min(v.workers * v.duration for v in vs)
+            for vs in problem.variants.values()
+        )
+        / fastest
+        / cluster.total_processors
+    )
+    return bound if bound >= load else load
+
+
 def warm_incumbent(
     graph: TaskGraph,
     state: State,
@@ -234,6 +299,7 @@ def enumerate_schedules(
     latency_slack: float = 0.0,
     warm_start: bool = True,
     dominance: bool = True,
+    bound_inflation: float = 0.0,
 ) -> EnumerationResult:
     """Compute L and S for one application state.
 
@@ -274,6 +340,14 @@ def enumerate_schedules(
         full set S; when |S| exceeds ``max_solutions`` the *materialized
         subset* may differ from a cold run (both runs materialize some
         ``max_solutions``-sized subset of the same S).
+    bound_inflation:
+        ε for bounded-suboptimality search (weighted branch-and-bound):
+        subtrees are pruned when ``lower_bound * (1 + ε)`` exceeds the
+        cutoff, and the search stops early once the incumbent is within
+        ``(1 + ε)`` of the root bound.  The returned latency is certified
+        within ``(1 + ε)`` of the true optimum L* (see
+        :attr:`EnumerationResult.lower_bound`).  ``0.0`` (the default) is
+        the exact search, bit-for-bit.
     """
     dp_cap = max_workers if max_workers is not None else cluster.procs_per_node
     problem = SearchProblem.from_graph(graph, state, max_workers=dp_cap)
@@ -291,7 +365,12 @@ def enumerate_schedules(
         latency_slack=latency_slack,
         incumbent=incumbent,
         dominance=dominance,
+        bound_inflation=bound_inflation,
     )
+
+
+class _EarlyStop(Exception):
+    """Internal: bounded search proved its incumbent within (1+ε) of L*."""
 
 
 def search_schedules(
@@ -306,13 +385,30 @@ def search_schedules(
     latency_slack: float = 0.0,
     incumbent: Optional[float] = None,
     dominance: bool = True,
+    bound_inflation: float = 0.0,
 ) -> EnumerationResult:
     """The branch-and-bound core, operating on a :class:`SearchProblem`.
 
     ``incumbent`` is an optional upper bound on L (a legal schedule's
     latency); it tightens pruning from the first node without affecting
     which schedules are ultimately collected.
+
+    ``bound_inflation`` (ε > 0) turns the search into weighted
+    branch-and-bound: every admissible lower bound is multiplied by
+    ``1 + ε`` before the prune comparison.  A pruned subtree therefore
+    proves ``lb > cutoff / (1 + ε)``, and since every cutoff the search
+    ever uses is at least the final incumbent U, the true optimum
+    satisfies ``L* > U / (1 + ε)`` whenever it was pruned away — i.e.
+    ``U <= (1 + ε) L*``.  The search additionally stops at the first
+    incumbent within ``(1 + ε)`` of the static root bound (the guarantee
+    already holds; the rest of the tree cannot strengthen it).  At
+    ε = 0 every comparison multiplies by exactly 1.0 and the early stop
+    is disabled, so the search is bit-identical to the exact one.
     """
+    if bound_inflation < 0.0:
+        raise ScheduleError(
+            f"bound_inflation must be >= 0, got {bound_inflation}"
+        )
     t0 = time.perf_counter()
     order_names = problem.order_names
     if not order_names:
@@ -323,6 +419,7 @@ def search_schedules(
             0,
             state,
             elapsed_s=time.perf_counter() - t0,
+            bound_inflation=bound_inflation,
         )
 
     P = cluster.total_processors
@@ -389,6 +486,17 @@ def search_schedules(
     }
 
     slack_factor = 1.0 + latency_slack
+    # Weighted branch-and-bound: bounds are inflated by (1 + ε) before
+    # every prune comparison.  At ε = 0 the factor is exactly 1.0 and
+    # float multiplication by 1.0 is the identity, so the exact search
+    # path is untouched bit for bit.
+    infl = 1.0 + bound_inflation
+    root_bound = static_lower_bound(problem, cluster)
+    # Early cutoff (bounded mode only): an incumbent at or below
+    # root_bound * (1 + ε) is already certified within ε of L*.
+    stop_bound = (
+        root_bound * infl + tolerance if bound_inflation > 0.0 else None
+    )
     if incumbent is not None:
         inc_cutoff = (
             incumbent * (1.0 + _INCUMBENT_MARGIN) + _INCUMBENT_MARGIN
@@ -431,6 +539,8 @@ def search_schedules(
                     optimal_count[0] += 1
                 if len(solutions) < max_solutions:
                     solutions[key] = (lat, sched)
+        if stop_bound is not None and best_latency[0] <= stop_bound:
+            raise _EarlyStop
 
     def lower_bound(current_max_end: float) -> float:
         """Admissible bound on the best completed latency below this node.
@@ -524,7 +634,7 @@ def search_schedules(
             est = max(est, pend + delay)
         cutoff = prune_cutoff()
         # Lower bound, part 1: this task's own remaining chain from est.
-        if est + rem > cutoff:
+        if (est + rem) * infl > cutoff:
             pruned_bound[0] += 1
             return
         end = est + dur
@@ -537,7 +647,7 @@ def search_schedules(
         # placements early.
         new_sum = sum_free[0] - sum(saved) + end * len(chosen)
         new_rem = rem_work[0] - min_work[name]
-        if (new_sum + new_rem) / P > cutoff:
+        if (new_sum + new_rem) / P * infl > cutoff:
             pruned_bound[0] += 1
             return
         placement = Placement(name, chosen, est, dur, variant=var.label)
@@ -581,13 +691,16 @@ def search_schedules(
                 record_solution()
             return
         current_max = max((pl.end for pl in placed.values()), default=0.0)
-        if lower_bound(current_max) > prune_cutoff():
+        if lower_bound(current_max) * infl > prune_cutoff():
             pruned_bound[0] += 1
             return
         for i, name in enumerate(ready_now):
             place_and_recurse(name, ready_now[:i] + ready_now[i + 1 :])
 
-    recurse(ready)
+    try:
+        recurse(ready)
+    except _EarlyStop:
+        pass
     if not solutions:
         raise InfeasibleSchedule(
             f"no legal schedule for graph {problem.graph_name!r} on {cluster!r}"
@@ -597,6 +710,13 @@ def search_schedules(
         IterationSchedule(s.placements, name=f"opt[{i}]")
         for i, (_lat, s) in enumerate(ranked)
     ]
+    # Certified lower bound on L*: an exact search proves its own latency
+    # optimal; a bounded one proves L* > U / (1 + ε) by the pruning
+    # argument above (never weaker than the static root bound).
+    if bound_inflation > 0.0:
+        cert_lb = max(root_bound, best_latency[0] / infl)
+    else:
+        cert_lb = best_latency[0]
     return EnumerationResult(
         latency=best_latency[0],
         schedules=ordered,
@@ -606,4 +726,7 @@ def search_schedules(
         elapsed_s=time.perf_counter() - t0,
         pruned_bound=pruned_bound[0],
         pruned_dominance=pruned_dominance[0],
+        lower_bound=cert_lb,
+        root_bound=root_bound,
+        bound_inflation=bound_inflation,
     )

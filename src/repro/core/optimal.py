@@ -27,9 +27,65 @@ from repro.sim.cluster import ClusterSpec
 from repro.sim.network import CommModel
 from repro.state import State
 
-__all__ = ["ScheduleSolution", "OptimalScheduler", "solution_from_enumeration"]
+__all__ = [
+    "GapCertificate",
+    "ScheduleSolution",
+    "OptimalScheduler",
+    "solution_from_enumeration",
+    "solution_from_fallback",
+]
 
 _EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class GapCertificate:
+    """The optimality-gap claim attached to a served schedule.
+
+    The solver ladder (:mod:`repro.approx`) serves schedules that may be
+    suboptimal; this certificate is what makes that safe — it states
+    *how* suboptimal, in a form rule ``S013`` can re-check independently:
+
+    Attributes
+    ----------
+    policy:
+        Which rung produced the schedule: ``"exact"`` (branch and bound
+        run to completion), ``"bounded"`` (ε-inflated branch and bound)
+        or ``"list"`` (HEFT list-scheduling fallback).
+    epsilon:
+        The requested suboptimality budget (0 for exact and list).
+    lower_bound:
+        Certified lower bound on the true optimum L*: the latency itself
+        for exact, ``max(root_bound, latency / (1 + ε))`` for bounded,
+        ``root_bound`` for list.
+    root_bound:
+        The static critical-path/load bound
+        (:func:`repro.core.enumerate.static_lower_bound`) — re-derivable
+        from the graph, state and cluster alone, anchoring the claim to
+        something no search artifact can fake.
+    gap_bound:
+        ``latency / lower_bound - 1`` — the claimed worst-case relative
+        gap.  Bounded rungs guarantee ``gap_bound <= epsilon``.
+    dp_cap:
+        The data-parallel width cap the search problem was built with
+        (the verifier must materialize the same variant sets to
+        reproduce ``root_bound``).
+    """
+
+    policy: str
+    epsilon: float
+    lower_bound: float
+    root_bound: float
+    gap_bound: float
+    dp_cap: int
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.policy}(ε={self.epsilon:g}): "
+            f"gap<={self.gap_bound * 100:.2f}% "
+            f"(LB={self.lower_bound:.4g}s, root={self.root_bound:.4g}s)"
+        )
 
 
 @dataclass
@@ -48,6 +104,9 @@ class ScheduleSolution:
         Total count of distinct optimal iteration schedules (|S|).
     explored:
         Branch-and-bound nodes visited while computing S.
+    certificate:
+        Optimality-gap claim (:class:`GapCertificate`); ``None`` only on
+        artifacts serialized before certificates existed.
     """
 
     state: State
@@ -55,6 +114,7 @@ class ScheduleSolution:
     pipelined: PipelinedSchedule
     alternatives: int
     explored: int
+    certificate: Optional[GapCertificate] = None
 
     @property
     def latency(self) -> float:
@@ -79,14 +139,41 @@ class ScheduleSolution:
         )
 
 
+def _certificate_from_result(
+    result: EnumerationResult, dp_cap: int
+) -> Optional[GapCertificate]:
+    """Build the gap certificate an enumeration result supports.
+
+    Results lacking bound information (hand-built in tests, or produced
+    by a pre-certificate build) get ``None`` — no claim is better than an
+    unverifiable one.
+    """
+    if result.root_bound <= 0.0 or result.lower_bound <= 0.0:
+        return None
+    policy = "bounded" if result.bound_inflation > 0.0 else "exact"
+    gap = result.latency / result.lower_bound - 1.0
+    return GapCertificate(
+        policy=policy,
+        epsilon=result.bound_inflation,
+        lower_bound=result.lower_bound,
+        root_bound=result.root_bound,
+        gap_bound=max(0.0, gap),
+        dp_cap=dp_cap,
+    )
+
+
 def solution_from_enumeration(
-    result: EnumerationResult, cluster: ClusterSpec
+    result: EnumerationResult,
+    cluster: ClusterSpec,
+    dp_cap: Optional[int] = None,
 ) -> ScheduleSolution:
     """Step 3 of Figure 6: pick the throughput-best pipelining of a member of S.
 
     Shared by :meth:`OptimalScheduler.solve` and the process-pool workers
     of :mod:`repro.core.parallel`, so both paths produce bit-identical
-    solutions.
+    solutions.  ``dp_cap`` is the data-parallel width cap the search
+    problem was built with (recorded in the certificate; defaults to the
+    cluster's processors per node, which is what every table build uses).
     """
     best: Optional[PipelinedSchedule] = None
     best_iter: Optional[IterationSchedule] = None
@@ -99,12 +186,59 @@ def solution_from_enumeration(
         raise InfeasibleSchedule(
             f"enumeration for {result.state!r} produced no schedules to pipeline"
         )
+    cap = dp_cap if dp_cap is not None else cluster.procs_per_node
     return ScheduleSolution(
         state=result.state,
         iteration=best_iter,
         pipelined=best,
         alternatives=result.optimal_count,
         explored=result.explored,
+        certificate=_certificate_from_result(result, cap),
+    )
+
+
+def solution_from_fallback(
+    schedule: IterationSchedule,
+    state: State,
+    cluster: ClusterSpec,
+    *,
+    root_bound: float,
+    policy: str,
+    epsilon: float = 0.0,
+    dp_cap: Optional[int] = None,
+    explored: int = 0,
+) -> ScheduleSolution:
+    """Wrap a heuristic (list-scheduled or ε-pruned-away) schedule as a solution.
+
+    Used by the ``"list"`` rung of the solver ladder, and by the bounded
+    rung when ε-pruning eliminated every leaf below the warm incumbent —
+    in that case the incumbent itself is certified within ``(1 + ε)`` of
+    L* (everything better was pruned *against it*), so ``policy="bounded"``
+    with the incumbent's latency is sound.
+    """
+    piped = best_pipelined(schedule, cluster, name=f"M[{schedule.name}]")
+    lb = root_bound
+    if policy == "bounded" and epsilon > 0.0:
+        lb = max(lb, schedule.latency / (1.0 + epsilon))
+    gap = schedule.latency / lb - 1.0 if lb > 0.0 else 0.0
+    cert = None
+    if lb > 0.0:
+        cap = dp_cap if dp_cap is not None else cluster.procs_per_node
+        cert = GapCertificate(
+            policy=policy,
+            epsilon=epsilon,
+            lower_bound=lb,
+            root_bound=root_bound,
+            gap_bound=max(0.0, gap),
+            dp_cap=cap,
+        )
+    return ScheduleSolution(
+        state=state,
+        iteration=schedule,
+        pipelined=piped,
+        alternatives=1,
+        explored=explored,
+        certificate=cert,
     )
 
 

@@ -30,10 +30,16 @@ from repro.core.enumerate import (
     EnumerationResult,
     SearchProblem,
     search_schedules,
+    static_lower_bound,
     warm_incumbent,
 )
-from repro.core.optimal import ScheduleSolution, solution_from_enumeration
-from repro.errors import ReproError
+from repro.core.optimal import (
+    ScheduleSolution,
+    solution_from_enumeration,
+    solution_from_fallback,
+)
+from repro.core.schedule import IterationSchedule
+from repro.errors import InfeasibleSchedule, ReproError, ScheduleError
 from repro.graph.taskgraph import TaskGraph
 from repro.sim.cluster import ClusterSpec
 from repro.sim.network import CommModel
@@ -62,7 +68,16 @@ class SolveRequest:
       (steps 1-3 of Figure 6);
     * ``"enumerate"`` — the raw
       :class:`~repro.core.enumerate.EnumerationResult` (steps 1-2 only),
-      used by the frontier and sensitivity sweeps that inspect S itself.
+      used by the frontier and sensitivity sweeps that inspect S itself;
+    * ``"list"`` — no search at all: the pre-computed HEFT ``fallback``
+      schedule wrapped as a solution with a root-bound gap certificate
+      (rung 3 of the :mod:`repro.approx` ladder).
+
+    ``bound_inflation`` (ε) makes the search bounded-suboptimal, and
+    ``ladder`` appends escalation stages ``(ε, node_limit)`` tried in
+    order when a stage blows its node budget — with the ``fallback``
+    schedule as the final rung.  All of it is pure picklable data, so a
+    whole policy ladder ships to a worker as one request.
 
     ``tag`` is an opaque caller label (a state, a shape key, a trial
     index) carried through untouched; ``solve_many`` never looks at it.
@@ -79,11 +94,17 @@ class SolveRequest:
     latency_slack: float = 0.0
     incumbent: Optional[float] = None
     dominance: bool = True
+    bound_inflation: float = 0.0
+    ladder: tuple = ()
+    fallback: Optional[IterationSchedule] = None
+    dp_cap: Optional[int] = None
     tag: Any = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        if self.mode not in ("solve", "enumerate"):
+        if self.mode not in ("solve", "enumerate", "list"):
             raise ValueError(f"unknown solve mode {self.mode!r}")
+        if self.mode == "list" and self.fallback is None:
+            raise ValueError("mode='list' requires a fallback schedule")
 
 
 def make_request(
@@ -100,19 +121,36 @@ def make_request(
     latency_slack: float = 0.0,
     warm_start: bool = True,
     dominance: bool = True,
+    bound_inflation: float = 0.0,
+    ladder: tuple = (),
     tag: Any = None,
 ) -> SolveRequest:
     """Snapshot one (graph, state, cluster) solve into a :class:`SolveRequest`.
 
     The warm-start incumbent is computed *here*, in the parent process —
     the list scheduler is linear-time, and workers then need nothing but
-    the pure-data request.
+    the pure-data request.  When the request is approximate (``mode=
+    "list"``, ``bound_inflation`` > 0, or escalation ``ladder`` stages),
+    the *full* list schedule rides along as the fallback rung.
     """
     dp_cap = max_workers if max_workers is not None else cluster.procs_per_node
     problem = SearchProblem.from_graph(graph, state, max_workers=dp_cap)
+    if mode == "list" and not problem.order_names:
+        mode = "solve"  # empty graph: the search's trivial result is exact
+    needs_fallback = bound_inflation > 0.0 or bool(ladder) or mode == "list"
     incumbent = None
-    if warm_start and problem.order_names:
-        incumbent = warm_incumbent(graph, state, cluster, comm=comm, max_workers=dp_cap)
+    fallback = None
+    if problem.order_names and (warm_start or needs_fallback):
+        fallback = _list_fallback(graph, state, cluster, comm, dp_cap)
+        if fallback is not None and warm_start:
+            incumbent = fallback.latency
+    if mode == "list" and fallback is None:
+        raise InfeasibleSchedule(
+            f"list scheduler produced no legal schedule for "
+            f"{graph.name!r} in {state!r} on {cluster!r}"
+        )
+    if not needs_fallback:
+        fallback = None
     return SolveRequest(
         problem=problem,
         state=state,
@@ -125,29 +163,110 @@ def make_request(
         latency_slack=latency_slack,
         incumbent=incumbent,
         dominance=dominance,
+        bound_inflation=bound_inflation,
+        ladder=tuple(ladder),
+        fallback=fallback,
+        dp_cap=dp_cap,
         tag=tag,
     )
+
+
+def _list_fallback(
+    graph: TaskGraph,
+    state: State,
+    cluster: ClusterSpec,
+    comm: Optional[CommModel],
+    dp_cap: int,
+) -> Optional[IterationSchedule]:
+    """The full HEFT list schedule, or ``None`` when the heuristic fails.
+
+    Same schedule :func:`~repro.core.enumerate.warm_incumbent` takes the
+    latency of — kept whole here so approximate requests can *serve* it.
+    """
+    from repro.sched.listsched import list_schedule  # deferred: avoids import cycle
+
+    try:
+        return list_schedule(
+            graph, state, cluster, comm=comm, max_workers=dp_cap
+        )
+    except (ReproError, AssertionError):
+        return None
 
 
 def execute_request(
     request: SolveRequest,
 ) -> Union[ScheduleSolution, EnumerationResult]:
-    """Run one request to completion (works in any process)."""
-    result = search_schedules(
-        request.problem,
-        request.state,
-        request.cluster,
-        request.comm,
-        max_solutions=request.max_solutions,
-        node_limit=request.node_limit,
-        tolerance=request.tolerance,
-        latency_slack=request.latency_slack,
-        incumbent=request.incumbent,
-        dominance=request.dominance,
-    )
+    """Run one request to completion (works in any process).
+
+    Approximate requests escalate deterministically: the primary stage
+    (``bound_inflation``, ``node_limit``), then each ``ladder`` stage
+    when the previous one blows its node budget, and finally — for a
+    bounded stage whose ε-pruning eliminated every leaf, or a ladder that
+    exhausted all stages — the pre-computed ``fallback`` list schedule,
+    wrapped with a sound gap certificate.
+    """
+    if request.mode == "list":
+        return _serve_fallback(request, policy="list")
+    stages = [(request.bound_inflation, request.node_limit)]
+    stages += [(float(eps), int(limit)) for eps, limit in request.ladder]
+    last_error: Optional[ScheduleError] = None
+    result = None
+    for eps, limit in stages:
+        try:
+            result = search_schedules(
+                request.problem,
+                request.state,
+                request.cluster,
+                request.comm,
+                max_solutions=request.max_solutions,
+                node_limit=limit,
+                tolerance=request.tolerance,
+                latency_slack=request.latency_slack,
+                incumbent=request.incumbent,
+                dominance=request.dominance,
+                bound_inflation=eps,
+            )
+            break
+        except InfeasibleSchedule:
+            if eps > 0.0 and request.fallback is not None:
+                # ε-pruning cut every leaf *against the incumbent*:
+                # anything better than fallback/(1+ε) was provably pruned,
+                # so serving the incumbent is within the bounded contract.
+                return _serve_fallback(request, policy="bounded", epsilon=eps)
+            raise
+        except ScheduleError as exc:
+            last_error = exc  # node budget blown: try the next rung
+    if result is None:
+        if request.fallback is not None:
+            return _serve_fallback(request, policy="list")
+        raise last_error if last_error is not None else ScheduleError(
+            "solve request produced no result"
+        )
     if request.mode == "enumerate":
         return result
-    return solution_from_enumeration(result, request.cluster)
+    return solution_from_enumeration(
+        result, request.cluster, dp_cap=request.dp_cap
+    )
+
+
+def _serve_fallback(
+    request: SolveRequest, policy: str, epsilon: float = 0.0
+) -> ScheduleSolution:
+    """The request's list-schedule fallback as a certified solution."""
+    if request.fallback is None:
+        raise InfeasibleSchedule(
+            f"no fallback schedule available for {request.state!r}"
+        )
+    root = static_lower_bound(request.problem, request.cluster)
+    return solution_from_fallback(
+        request.fallback,
+        request.state,
+        request.cluster,
+        root_bound=root,
+        policy=policy,
+        epsilon=epsilon,
+        dp_cap=request.dp_cap,
+    )
 
 
 def default_workers() -> int:

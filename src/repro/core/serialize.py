@@ -20,7 +20,7 @@ import json
 from typing import Any
 
 from repro.errors import ScheduleError
-from repro.core.optimal import ScheduleSolution
+from repro.core.optimal import GapCertificate, ScheduleSolution
 from repro.core.schedule import IterationSchedule, PipelinedSchedule, Placement
 from repro.core.table import ScheduleTable
 from repro.state import State
@@ -30,6 +30,8 @@ __all__ = [
     "iteration_from_dict",
     "pipelined_to_dict",
     "pipelined_from_dict",
+    "certificate_to_dict",
+    "certificate_from_dict",
     "solution_to_dict",
     "solution_from_dict",
     "table_to_json",
@@ -111,26 +113,55 @@ def pipelined_from_dict(data: dict) -> PipelinedSchedule:
     )
 
 
+def certificate_to_dict(cert: GapCertificate) -> dict:
+    """JSON-safe representation of an optimality-gap certificate."""
+    return {
+        "policy": cert.policy,
+        "epsilon": cert.epsilon,
+        "lower_bound": cert.lower_bound,
+        "root_bound": cert.root_bound,
+        "gap_bound": cert.gap_bound,
+        "dp_cap": cert.dp_cap,
+    }
+
+
+def certificate_from_dict(data: dict) -> GapCertificate:
+    """Rebuild a :class:`GapCertificate`."""
+    return GapCertificate(
+        policy=str(_require(data, "policy", "gap certificate")),
+        epsilon=float(_require(data, "epsilon", "gap certificate")),
+        lower_bound=float(_require(data, "lower_bound", "gap certificate")),
+        root_bound=float(_require(data, "root_bound", "gap certificate")),
+        gap_bound=float(_require(data, "gap_bound", "gap certificate")),
+        dp_cap=int(data.get("dp_cap", 0)),
+    )
+
+
 def solution_to_dict(solution: ScheduleSolution) -> dict:
     """JSON-safe representation of a full per-state solution."""
-    return {
+    out = {
         "state": dict(solution.state),
         "iteration": iteration_to_dict(solution.iteration),
         "pipelined": pipelined_to_dict(solution.pipelined),
         "alternatives": solution.alternatives,
         "explored": solution.explored,
     }
+    if solution.certificate is not None:
+        out["certificate"] = certificate_to_dict(solution.certificate)
+    return out
 
 
 def solution_from_dict(data: dict) -> ScheduleSolution:
-    """Rebuild a :class:`ScheduleSolution`."""
+    """Rebuild a :class:`ScheduleSolution` (certificate key is optional)."""
     state_vars = _require(data, "state", "solution")
+    raw_cert = data.get("certificate")
     return ScheduleSolution(
         state=State(**state_vars),
         iteration=iteration_from_dict(_require(data, "iteration", "solution")),
         pipelined=pipelined_from_dict(_require(data, "pipelined", "solution")),
         alternatives=int(data.get("alternatives", 1)),
         explored=int(data.get("explored", 0)),
+        certificate=certificate_from_dict(raw_cert) if raw_cert else None,
     )
 
 

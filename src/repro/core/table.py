@@ -56,6 +56,7 @@ class ScheduleTable:
         parallel: Optional[int] = None,
         cache=None,
         verify: bool = False,
+        policy=None,
     ) -> "ScheduleTable":
         """Run the off-line optimizer for every state in ``space``.
 
@@ -75,11 +76,25 @@ class ScheduleTable:
             graph lint, schedule certificates, table totality, STM
             protocol) over the finished table and raise
             :class:`~repro.errors.AnalysisError` on any ERROR finding.
+        policy:
+            Solver-ladder rung for every per-state solve: a
+            :class:`~repro.approx.SolvePolicy` or a spec string
+            (``"exact"`` | ``"bounded[:eps]"`` | ``"list"`` |
+            ``"ladder[:eps]"``).  ``None`` keeps the exact search.  Every
+            non-exact entry carries a
+            :class:`~repro.core.optimal.GapCertificate` stating its
+            certified optimality gap.
         """
         from repro.core.parallel import solve_many  # deferred: avoids import cycle
 
         states = list(space)
-        requests = [scheduler.request(graph, state) for state in states]
+        if policy is None:
+            requests = [scheduler.request(graph, state) for state in states]
+        else:
+            from repro.approx import resolve_policy  # deferred: leaf package
+
+            pol = resolve_policy(policy)
+            requests = [pol.request(scheduler, graph, state) for state in states]
         solutions: dict[State, Optional[ScheduleSolution]] = {
             state: None for state in states
         }

@@ -44,6 +44,12 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the off-line solves (default: in-process); "
              "results are identical for every worker count",
     )
+    parser.add_argument(
+        "--policy", choices=["exact", "bounded", "list"], default=None,
+        help="solver-ladder rung for the fleet experiment's table builds "
+             "(repro.approx; default exact). Approximate rungs cut "
+             "admission latency and still pass F001/S013 verification",
+    )
     args = parser.parse_args(argv)
 
     runners = {
@@ -62,7 +68,10 @@ def main(argv: list[str] | None = None) -> int:
     chunks: list[str] = []
     for name in names:
         t0 = time.perf_counter()
-        body = runners[name](args.quick, args.workers)
+        if name == "fleet":
+            body = _fleet(args.quick, args.workers, solve_policy=args.policy)
+        else:
+            body = runners[name](args.quick, args.workers)
         chunk = (
             f"=== {name} ===\n{body}\n"
             f"--- {name} done in {time.perf_counter() - t0:.1f}s ---\n"
@@ -134,7 +143,9 @@ def _obs(quick: bool, workers: int | None = None) -> str:
     ).render()
 
 
-def _fleet(quick: bool, workers: int | None = None) -> str:
+def _fleet(
+    quick: bool, workers: int | None = None, solve_policy: str | None = None
+) -> str:
     from repro.experiments.fleet_exp import run_fleet
     from repro.sim.cluster import ClusterSpec
 
@@ -145,8 +156,9 @@ def _fleet(quick: bool, workers: int | None = None) -> str:
             wave_gap=120.0,
             mean_dwell=200.0,
             workers=workers,
+            solve_policy=solve_policy,
         ).render()
-    return run_fleet(workers=workers).render()
+    return run_fleet(workers=workers, solve_policy=solve_policy).render()
 
 
 def _ablations(quick: bool, workers: int | None = None) -> str:

@@ -123,6 +123,7 @@ class FleetResult:
     findings_errors: int = 0
     findings_warnings: int = 0
     cache_summary: str = ""
+    solve_policy: str = "exact"
 
     @property
     def admission_rate(self) -> float:
@@ -167,9 +168,10 @@ class FleetResult:
             title="Per-class preemption and slip accounting",
         )
         verdict = (
+            f"solve policy: {self.solve_policy} | "
             f"verification: {self.findings_errors} error(s), "
             f"{self.findings_warnings} warning(s) from F001 + per-tenant "
-            f"S-rule certificates"
+            f"S-rule certificates (incl. S013 gap claims)"
         )
         fleet_line = (
             f"preemption: {self.migrations} migrations, {self.demotions} "
@@ -214,6 +216,7 @@ def run_fleet(
     cache_dir: Optional[str] = None,
     workers: Optional[int] = None,
     verify: bool = True,
+    solve_policy: Optional[str] = None,
 ) -> FleetResult:
     """Drive Poisson tenant waves through a FleetManager; report the fleet.
 
@@ -222,6 +225,10 @@ def run_fleet(
     built through one shared :class:`ScheduleCache` (a fresh directory
     per run unless ``cache_dir`` pins one, so wave-2 hit rates measure
     real cross-tenant amortization, not leftovers from earlier runs).
+    ``solve_policy`` picks the :mod:`repro.approx` ladder rung for every
+    table build (``exact`` | ``bounded[:eps]`` | ``list`` — admission
+    latency drops under the approximate rungs while the F001/S013
+    verification still gates every served schedule).
     """
     cluster = cluster or ClusterSpec(nodes=16, procs_per_node=4)
     policy = policy or CheckpointTransition(setup=0.25)
@@ -232,7 +239,8 @@ def run_fleet(
     root = cache_dir or tempfile.mkdtemp(prefix="repro-fleet-cache-")
     cache = ScheduleCache(root)
     mgr = FleetManager(
-        cluster, policy=policy, cache=cache, workers=workers
+        cluster, policy=policy, cache=cache, workers=workers,
+        solve_policy=solve_policy,
     )
 
     # Seeded event tape: Poisson arrivals per wave, exponential dwells,
@@ -343,6 +351,7 @@ def run_fleet(
         findings_errors=findings_errors,
         findings_warnings=findings_warnings,
         cache_summary=cache.stats.summary(),
+        solve_policy=solve_policy or "exact",
     )
     if own_cache:
         shutil.rmtree(root, ignore_errors=True)

@@ -110,6 +110,7 @@ class ShapeTable:
         parallel: Optional[int] = None,
         cache=None,
         verify: bool = False,
+        policy=None,
     ) -> "ShapeTable":
         """Run the Figure 6 optimizer once per reachable degraded shape.
 
@@ -125,12 +126,26 @@ class ShapeTable:
         table — per-shape schedule certificates plus failover coverage for
         every node-failure shape — and raises
         :class:`~repro.errors.AnalysisError` on any ERROR finding.
+        ``policy`` selects a :mod:`repro.approx` solver-ladder rung for
+        every per-shape solve (spec string or
+        :class:`~repro.approx.SolvePolicy`; ``None`` = exact) — degraded
+        shapes are exactly where the exact search is at its slowest, and
+        a bounded failover schedule still ships a verified gap
+        certificate.
         """
         from repro.core.parallel import solve_many  # deferred: avoids import cycle
 
         factory = scheduler_factory or (lambda spec: OptimalScheduler(spec))
         shapes = reachable_shapes(base, max_node_failures, proc_failures)
-        requests = [factory(spec).request(graph, state) for spec in shapes]
+        if policy is None:
+            requests = [factory(spec).request(graph, state) for spec in shapes]
+        else:
+            from repro.approx import resolve_policy  # deferred: leaf package
+
+            pol = resolve_policy(policy)
+            requests = [
+                pol.request(factory(spec), graph, state) for spec in shapes
+            ]
         results: list = [None] * len(shapes)
         pending: list[int] = []
         if cache is not None:

@@ -50,6 +50,7 @@ class FleetManager:
         admission: Optional[AdmissionPolicy] = None,
         cache=None,
         workers: Optional[int] = None,
+        solve_policy=None,
     ) -> None:
         if isinstance(cluster, ClusterView):
             self.view = cluster
@@ -66,9 +67,11 @@ class FleetManager:
             policy=policy,
             cache=cache,
             workers=workers,
+            solve_policy=solve_policy,
         )
         self.cache = cache
         self.workers = workers
+        self.solve_policy = solve_policy
         self.departures: int = 0
         self.departed: list[Tenant] = []  # audit: counters survive departure
         self._seq = 0
@@ -216,7 +219,11 @@ class FleetManager:
         tenant.state = new_state
         if tenant.demand() == old_demand and tenant.granted > 0:
             old_sol = tenant.active
-            new_sol = tenant.solution(cache=self.cache, workers=self.workers)
+            new_sol = tenant.solution(
+                cache=self.cache,
+                workers=self.workers,
+                solve_policy=self.solve_policy,
+            )
             if old_sol is not None and new_sol is not old_sol:
                 effect = self.controller.policy.effect(old_sol, new_sol)
                 tenant.total_stall += effect.stall

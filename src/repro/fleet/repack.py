@@ -65,6 +65,7 @@ class RepackController:
         policy: Optional[TransitionPolicy] = None,
         cache=None,
         workers: Optional[int] = None,
+        solve_policy=None,
     ) -> None:
         self.view = view
         self.tenants = tenants  # live reference owned by the FleetManager
@@ -72,6 +73,9 @@ class RepackController:
         self.policy = policy or DrainTransition()
         self.cache = cache
         self.workers = workers
+        # repro.approx ladder rung for every table build ("policy" is taken
+        # by the transition policy in this layer, hence the longer name).
+        self.solve_policy = solve_policy
         self.packing = Packing()
         self.records: list[RepackRecord] = []
         self.total_stall = 0.0
@@ -124,7 +128,10 @@ class RepackController:
         for tid, carve in packing.carves.items():
             tenant = self.tenants[tid]
             new_sol = tenant.solution(
-                width=carve.width, cache=self.cache, workers=self.workers
+                width=carve.width,
+                cache=self.cache,
+                workers=self.workers,
+                solve_policy=self.solve_policy,
             )
             old_sol = tenant.active
             old_carve = old_carves.get(tid)

@@ -150,12 +150,16 @@ class Tenant:
         width: int,
         cache=None,
         workers: Optional[int] = None,
+        solve_policy=None,
     ) -> ScheduleTable:
         """The schedule table for a ``width``-wide virtual cluster.
 
         Built on first use via the existing parallel+cached table path;
         subsequent calls (and other tenants of the same class sharing the
-        cache) reuse the stored solutions.
+        cache) reuse the stored solutions.  ``solve_policy`` picks the
+        :mod:`repro.approx` ladder rung per solve (``None`` = exact) —
+        named ``solve_policy`` because ``policy`` already means the fleet
+        transition policy throughout this layer.
         """
         if not 1 <= width <= self.spec.max_width:
             raise TenantError(
@@ -170,6 +174,7 @@ class Tenant:
                 scheduler,
                 parallel=workers,
                 cache=cache,
+                policy=solve_policy,
             )
             self.tables[width] = table
         return table
@@ -180,11 +185,14 @@ class Tenant:
         width: Optional[int] = None,
         cache=None,
         workers: Optional[int] = None,
+        solve_policy=None,
     ) -> ScheduleSolution:
         """The pre-computed solution for ``(state, width)`` (lazy build)."""
         state = state or self.state
         w = self.granted if width is None else width
-        return self.ensure_width(w, cache=cache, workers=workers).lookup(state)
+        return self.ensure_width(
+            w, cache=cache, workers=workers, solve_policy=solve_policy
+        ).lookup(state)
 
     def __repr__(self) -> str:
         mode = "degraded" if 0 < self.granted < self.demand() else "nominal"

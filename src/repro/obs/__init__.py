@@ -152,6 +152,22 @@ class Observability:
         self._period = r.gauge(
             "repro_schedule_period_seconds", "Active schedule initiation interval"
         )
+        self._approx_gap = r.histogram(
+            "repro_approx_gap",
+            "Certified optimality-gap bound of served schedules",
+            ("policy",),
+            buckets=(0.0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0),
+        )
+        self._approx_solves = r.counter(
+            "repro_approx_solves_total",
+            "Schedule solves served, by ladder rung",
+            ("policy",),
+        )
+        self._approx_lazy = r.counter(
+            "repro_approx_lazy_total",
+            "Lazy schedule-table lookups, by outcome",
+            ("kind",),
+        )
         # Label resolution goes through the registry lock; the hooks run on
         # every task execution and STM operation, so resolved children are
         # memoized here (benign race: duplicate lookups return the same
@@ -272,6 +288,18 @@ class Observability:
     def on_period(self, period: float) -> None:
         """The active schedule's initiation interval changed."""
         self._period.set(period)
+
+    # -- approximation ladder --------------------------------------------------
+
+    def on_approx_solve(self, policy: str, gap: float) -> None:
+        """One ladder solve served ``policy`` ∈ {exact, bounded, list} with
+        a certified gap bound of ``gap`` (0 for exact)."""
+        self._approx_solves.labels(policy).inc()
+        self._approx_gap.labels(policy).observe(gap)
+
+    def on_lazy(self, kind: str) -> None:
+        """One lazy-table lookup outcome: ``hit`` / ``miss`` / ``prefill``."""
+        self._approx_lazy.labels(kind).inc()
 
     # -- faults ---------------------------------------------------------------
 

@@ -73,6 +73,11 @@ class CalibrationController:
         Transition policy for the switch (default: drain).
     parallel / cache:
         Forwarded to :meth:`ScheduleTable.build` — the PR-2 warm path.
+    solve_policy:
+        :mod:`repro.approx` ladder rung for the re-build's solves
+        (``None`` = exact).  A drift re-build happens *on-line*, while
+        the application is stalled on the switch, so this is precisely
+        where a bounded-gap answer in a fraction of the time pays off.
     min_rel_change:
         Scale-factor dead band below which a task's cost is left alone.
     """
@@ -84,6 +89,7 @@ class CalibrationController:
     policy: TransitionPolicy = field(default_factory=DrainTransition)
     parallel: Optional[int] = None
     cache: object = None
+    solve_policy: object = None
     min_rel_change: float = 0.05
     records: list[RebuildRecord] = field(default_factory=list)
     total_stall: float = 0.0
@@ -121,6 +127,7 @@ class CalibrationController:
             self.scheduler,
             parallel=self.parallel,
             cache=self.cache,
+            policy=self.solve_policy,
         )
         old = self.active
         new = new_table.lookup(self.calibrator.state)

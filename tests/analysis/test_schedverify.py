@@ -157,6 +157,77 @@ def test_s012_missing_failover_entry(chain):
     assert all(f.rule == "S012" for f in report), report.summary()
 
 
+def test_s013_genuine_exact_certificate_verifies_clean(solution, chain, smp2):
+    cert = solution.certificate
+    assert cert is not None and cert.policy == "exact"
+    assert not verify_solution(solution, chain, smp2).findings
+
+
+def test_s013_genuine_bounded_and_list_certificates_verify_clean(chain, smp2):
+    from repro.approx import resolve_policy
+
+    for spec in ("bounded:0.5", "list"):
+        sol = resolve_policy(spec).solve(chain, State(n_models=1), OptimalScheduler(smp2))
+        assert sol.certificate is not None
+        report = verify_solution(sol, chain, smp2)
+        assert not report.findings, f"{spec}: {report.summary()}"
+
+
+def test_s013_forged_lower_bound_above_latency(solution, chain, smp2):
+    cert = replace(
+        solution.certificate, lower_bound=solution.latency * 2, gap_bound=0.0
+    )
+    bad = replace(solution, certificate=cert)
+    assert "S013" in rules(verify_solution(bad, chain, smp2))
+
+
+def test_s013_forged_root_bound(solution, chain, smp2):
+    cert = replace(solution.certificate, root_bound=solution.latency * 10)
+    bad = replace(solution, certificate=cert)
+    report = verify_solution(bad, chain, smp2)
+    assert any(
+        f.rule == "S013" and "re-derived bound" in f.message for f in report
+    )
+
+
+def test_s013_understated_gap(solution, chain, smp2):
+    # Claims a gap of zero while the stated lower bound implies 100%.
+    cert = replace(
+        solution.certificate,
+        policy="bounded",
+        epsilon=2.0,
+        lower_bound=solution.latency / 2,
+        gap_bound=0.0,
+    )
+    bad = replace(solution, certificate=cert)
+    report = verify_solution(bad, chain, smp2)
+    assert any(f.rule == "S013" and "understates" in f.message for f in report)
+
+
+def test_s013_bounded_rung_breaks_its_epsilon_promise(solution, chain, smp2):
+    cert = replace(
+        solution.certificate,
+        policy="bounded",
+        epsilon=0.1,
+        lower_bound=solution.latency / 1.5,
+        gap_bound=0.5,
+    )
+    bad = replace(solution, certificate=cert)
+    report = verify_solution(bad, chain, smp2)
+    assert any(f.rule == "S013" and "promised" in f.message for f in report)
+
+
+def test_s013_unknown_policy(solution, chain, smp2):
+    cert = replace(solution.certificate, policy="oracle")
+    bad = replace(solution, certificate=cert)
+    assert "S013" in rules(verify_solution(bad, chain, smp2))
+
+
+def test_s013_certificate_free_solutions_are_exempt(solution, chain, smp2):
+    legacy = replace(solution, certificate=None)
+    assert not verify_solution(legacy, chain, smp2).findings
+
+
 def test_full_tables_verify_clean(chain, smp2):
     space = StateSpace.range("n_models", 1, 3)
     table = ScheduleTable.build(chain, space, OptimalScheduler(smp2))

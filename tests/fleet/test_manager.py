@@ -197,3 +197,26 @@ class TestVerify:
         mgr = small_fleet()
         mgr.admit(spec, time=0.0)
         assert "FleetManager(1 tenants" in repr(mgr)
+
+
+class TestSolvePolicy:
+    """The repro.approx ladder rung behind every tenant table build."""
+
+    def test_bounded_rung_serves_certified_tenants(self, spec):
+        mgr = small_fleet(procs=4, solve_policy="bounded:0.5")
+        for i in range(3):
+            mgr.admit(spec, time=float(i))
+        for tenant in mgr.tenants.values():
+            cert = tenant.active.certificate
+            assert cert is not None and cert.policy == "bounded"
+            assert cert.gap_bound <= 0.5 + 1e-9
+        # F001 + S-rules (incl. S013 gap claims) must hold on every rung.
+        assert mgr.verify(strict=True).ok(strict=True)
+
+    def test_regime_change_rebuild_keeps_the_rung(self, spec):
+        mgr = small_fleet(procs=4, solve_policy="bounded:0.5")
+        tid = mgr.admit(spec, time=0.0).tenant_id
+        mgr.on_regime(tid, State(n_models=2), time=1.0)
+        cert = mgr.tenant(tid).active.certificate
+        assert cert is not None and cert.policy == "bounded"
+        assert mgr.verify(strict=True).ok(strict=True)

@@ -109,6 +109,59 @@ class TestCalibrationController:
         assert cache.stats.misses >= 1
         assert cache.stats.stores >= 1
 
+    def test_recost_rebuild_misses_cache_never_serves_stale(self, setup):
+        """Changed costs change the digest: the re-build must never be a
+        cache hit against the stale-cost entries."""
+        graph, cluster, space, scheduler, table = setup
+        cache = ScheduleCache(tempfile.mkdtemp(prefix="repro-test-obs-cache-"))
+        # Populate the cache with every stale-cost solve first.
+        ScheduleTable.build(graph, space, scheduler, cache=cache)
+        assert cache.stats.stores == len(list(space))
+        hits_before = cache.stats.hits
+
+        controller = make_controller(setup, cache=cache)
+        cal = controller.calibrator
+        modeled = cal.modeled_exec("T4", "serial")
+        drifts = [
+            s for i in range(4)
+            if (s := cal.observe_exec("T4", "serial", 3.0 * modeled, time=float(i)))
+        ]
+        record = controller.recalibrate(time=5.0, drifts=drifts)
+        # Every state re-solved fresh: zero hits against stale entries.
+        assert cache.stats.hits == hits_before
+        assert cache.stats.misses >= len(list(space))
+        # And the served schedule reflects the re-costed model, not the
+        # stale table's entry.
+        stale = table.lookup(controller.calibrator.state)
+        assert record.new_solution.period > stale.period
+        # A second drift-free rebuild against the *same* calibrated costs
+        # is the case the cache exists for: all hits.
+        controller.recalibrate(time=6.0, drifts=drifts)
+        assert cache.stats.hits == hits_before + len(list(space))
+
+    def test_rebuild_under_bounded_solve_policy(self, setup):
+        """The drift re-build can run on the bounded rung, certified."""
+        graph, cluster, space, scheduler, table = setup
+        calibrator = CostCalibrator(
+            graph, State(n_models=2), cluster,
+            detector=DriftDetector(threshold=0.25, confirm=3, min_samples=3,
+                                   alpha=1.0, cooldown=0),
+        )
+        controller = CalibrationController(
+            table=table, space=space, scheduler=scheduler,
+            calibrator=calibrator, solve_policy="bounded:0.5",
+        )
+        modeled = calibrator.modeled_exec("T4", "serial")
+        drifts = [
+            s for i in range(4)
+            if (s := calibrator.observe_exec("T4", "serial", 2.0 * modeled,
+                                             time=float(i)))
+        ]
+        record = controller.recalibrate(time=5.0, drifts=drifts)
+        cert = record.new_solution.certificate
+        assert cert is not None
+        assert cert.gap_bound <= 0.5 + 1e-9
+
 
 class TestAcceptance:
     """ISSUE acceptance: perturbed >= 2x -> detected -> re-built -> faster."""
