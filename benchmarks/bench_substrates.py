@@ -150,7 +150,7 @@ def test_substrate_scaling_ladder():
     n_models = 6
     work_scale = 250 if QUICK else 400  # ~0.35s / ~0.55s serial T4 per frame
     cpus = usable_cpus()
-    rungs = [1, 2, 4] + ([8] if cpus >= 8 else [])
+    rungs = [1, 2, 4, 8]
 
     def run_once(substrate: str, width: int) -> tuple[dict, dict]:
         video = VideoSource(n_targets=n_models, height=120, width=160, seed=42)
@@ -180,6 +180,13 @@ def test_substrate_scaling_ladder():
     threaded, t_out = run_once("threaded", 4)
     ladder: dict[int, dict] = {}
     for width in rungs:
+        if width > 4 and cpus < width:
+            # Not even worth running: record the gap explicitly so the
+            # CI step summary counts this rung as skipped instead of the
+            # ladder silently shrinking on small hosts.
+            ladder[width] = {"asserted": False, "skipped": "insufficient_cores"}
+            print(f"\n  dp{width} on {cpus} cpu(s): skipped (insufficient cores)")
+            continue
         row, p_out = run_once("process", width)
         for ts in range(frames):  # same schedule family, same answers
             assert t_out[ts] == p_out[ts], (width, ts)
@@ -187,6 +194,11 @@ def test_substrate_scaling_ladder():
             threaded["runtime_wall_s"] / row["runtime_wall_s"]
         )
         row["asserted"] = width >= 4 and cpus >= width
+        # Rungs meant to assert (>= 4 workers) that the host cannot
+        # parallelize report their honest numbers but carry the reason.
+        row["skipped"] = (
+            "insufficient_cores" if width >= 4 and cpus < width else None
+        )
         ladder[width] = row
         print(
             f"\n  dp{width} on {cpus} cpu(s): "
@@ -196,6 +208,7 @@ def test_substrate_scaling_ladder():
             f"roundtrips={row['broker_roundtrips']}"
         )
 
+    ran = [w for w, row in ladder.items() if "speedup_over_threaded" in row]
     RESULTS["substrates"] = {
         "frames": frames,
         "n_models": n_models,
@@ -204,7 +217,7 @@ def test_substrate_scaling_ladder():
         "threaded": threaded,
         "ladder": {str(w): row for w, row in ladder.items()},
         "speedup_process_over_threaded":
-            ladder[max(rungs)]["speedup_over_threaded"],
+            ladder[max(ran)]["speedup_over_threaded"],
         "skipped": None if cpus >= 4 else "insufficient_cores",
     }
     for width, row in ladder.items():

@@ -1,0 +1,112 @@
+"""Benchmark: the workload diversity suite across the solver ladder.
+
+Every frozen feasible instance of every workload family is solved on the
+exact, bounded (eps=0.5) and list rungs; every table is certified by the
+method-independent W+S verifier with **zero findings asserted**, and
+every rung's mean latency is scored against the online HEFT baseline
+floor.  The deliberately infeasible dataset entries must be rejected
+with exactly their recorded findings.
+
+Model-derived metrics (``mean_latency``, ``baseline_latency``,
+``latency_vs_baseline``) are deterministic, so the trajectory gate can
+hold them to the +-10% band; solve times are recorded as
+``build_seconds`` (not a gated pattern) because they are honest but
+noisy.  Set ``REPRO_BENCH_QUICK=1`` for the CI smoke configuration
+(first feasible instance per family, same assertions).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from _schema import write_bench
+from repro.workloads import certify_instance, load_dataset, score_policy
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+RESULTS: dict = {"quick": QUICK}
+
+FAMILIES = ("matmul", "fusion", "webinfer")
+POLICIES = ("exact", "bounded:0.5", "list")
+BOUNDED_EPS = 0.5
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_summary():
+    yield
+    out = write_bench(
+        "workloads", RESULTS, Path(__file__).with_name("BENCH_workloads.json")
+    )
+    print(f"\nsummary written to {out}")
+
+
+def test_policy_ladder_vs_baseline():
+    """All three workloads x all three rungs: verified clean, scored vs HEFT."""
+    ladder: dict = {}
+    for family in FAMILIES:
+        feasible = [i for i in load_dataset(family) if not i.expected_findings]
+        if QUICK:
+            feasible = feasible[:1]
+        rows = []
+        for inst in feasible:
+            for policy in POLICIES:
+                t0 = time.perf_counter()
+                score = score_policy(inst, policy)
+                build_seconds = time.perf_counter() - t0
+                assert score.clean, (
+                    f"{inst.name} on {policy}: verifier findings "
+                    f"{score.finding_counts}"
+                )
+                # Exact cannot lose to a feasible point of its own search;
+                # bounded certifies at most (1+eps) of the optimum, and the
+                # baseline is at least the optimum.
+                if policy == "exact":
+                    assert score.ratio <= 1.0 + 1e-9
+                else:
+                    assert score.ratio <= 1.0 + BOUNDED_EPS + 1e-9
+                key = policy.replace(":", "_").replace(".", "")
+                rows.append({
+                    "instance": inst.name,
+                    "policy": key,
+                    "mean_latency": score.mean_latency,
+                    "baseline_latency": score.baseline_mean,
+                    "latency_vs_baseline": score.ratio,
+                    "build_seconds": build_seconds,
+                })
+                print(
+                    f"\n  {inst.name} {policy}: L={score.mean_latency:.4f}s "
+                    f"baseline={score.baseline_mean:.4f}s "
+                    f"ratio={score.ratio:.3f} ({build_seconds * 1e3:.0f}ms)"
+                )
+        ladder[family] = rows
+    RESULTS["policy_ladder"] = ladder
+
+
+def test_infeasible_rejection():
+    """Every broken dataset entry is rejected with its recorded findings."""
+    rows = []
+    for family in FAMILIES:
+        for inst in load_dataset(family):
+            if not inst.expected_findings:
+                continue
+            t0 = time.perf_counter()
+            report = certify_instance(inst)
+            certify_seconds = time.perf_counter() - t0
+            got = sorted({f.rule for f in report.findings})
+            assert set(inst.expected_findings) <= set(got), (
+                f"{inst.name}: expected {inst.expected_findings}, got {got}"
+            )
+            assert not report.ok(), f"{inst.name} passed but must fail"
+            rows.append({
+                "instance": inst.name,
+                "expected": list(inst.expected_findings),
+                "found": got,
+                "findings": report.counts()["error"],
+                "certify_seconds": certify_seconds,
+            })
+            print(f"\n  {inst.name}: {got} (expected {inst.expected_findings})")
+    assert len(rows) == len(FAMILIES)
+    RESULTS["infeasible_rejection"] = {"rows": rows}

@@ -7,6 +7,8 @@ Rule ids are stable and prefixed by pass:
   (:mod:`repro.analysis.schedverify`);
 * ``Fxxx`` — pass 2b, fleet packing verification
   (:mod:`repro.analysis.fleetverify`);
+* ``Wxxx`` — pass 2c, workload service-requirement verification
+  (:mod:`repro.workloads.verify`);
 * ``Pxxx`` — pass 3, STM protocol analysis (:mod:`repro.analysis.stmcheck`);
 * ``Rxxx`` — pass 4, dynamic race/deadlock detection
   (:mod:`repro.analysis.race`).
@@ -167,6 +169,23 @@ RULES: dict[str, Rule] = _catalog(
          "it has alive, or an admitted tenant's certificate no longer "
          "holds under its virtual sub-cluster.",
          "re-run FleetManager repack; the placer never emits overlaps"),
+    # -- pass 2c: workload service-requirement verification -------------------
+    Rule("W001", "throughput-infeasible", E,
+         "An instance's source period is below the capacity lower bound "
+         "(minimum per-iteration work over the machine's total speed), so "
+         "no schedule by any method can sustain the arrival rate in some "
+         "state.",
+         "slow the source, shrink the work, or grow the cluster"),
+    Rule("W002", "deadline-unachievable", E,
+         "An instance's latency deadline is below the best-variant "
+         "critical-path lower bound at the fastest node speed for some "
+         "state; no schedule by any method can meet it.",
+         "relax the deadline or reduce the critical path"),
+    Rule("W003", "deadline-violated", E,
+         "A concrete schedule's latency exceeds the instance's deadline in "
+         "some state — the requirement is achievable (no W002) but this "
+         "schedule misses it.",
+         "re-solve with a tighter policy rung (lower epsilon or exact)"),
     # -- pass 3: STM protocol ------------------------------------------------
     Rule("P001", "stm-wait-cycle", W,
          "Bounded channels create a wait cycle across different channels "

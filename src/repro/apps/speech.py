@@ -20,12 +20,18 @@ from __future__ import annotations
 
 from repro.errors import GraphError
 from repro.graph.channel import ChannelSpec
-from repro.graph.cost import ConstantCost, LinearCost
+from repro.graph.cost import CallableCost, ConstantCost, LinearCost
 from repro.graph.task import DataParallelSpec, Task
 from repro.graph.taskgraph import TaskGraph
 from repro.state import State, StateSpace
 
-__all__ = ["build_speech_graph", "speech_states", "SPEECH_COSTS"]
+__all__ = [
+    "build_speech_graph",
+    "speech_states",
+    "SPEECH_COSTS",
+    "sensor_frontend_cost",
+    "add_sensor_frontend",
+]
 
 #: Cost models (seconds per 100 ms audio window, loosely DSP-shaped):
 #: microphone/vad are state-independent; features and the decoder scale
@@ -55,6 +61,56 @@ def _decoder_chunk_cost(state: State, n_chunks: int) -> float:
 def _decoder_chunks(state: State, workers: int) -> int:
     """Speaker decomposition: at most one chunk per speaker."""
     return min(state["n_speakers"], workers)
+
+
+def sensor_frontend_cost(
+    index: int,
+    active_cost: float = 0.015,
+    idle_cost: float = 0.001,
+    variable: str = "n_sensors",
+) -> CallableCost:
+    """Cost of one vad-shaped front-end in a multi-sensor array.
+
+    Sensor ``index`` pays the full detection price while it is live
+    (``index < state[variable]``) and a tiny keep-alive tick otherwise.
+    This is how a fixed graph topology models a *variable* sensor count:
+    the regime variable scales costs, never the graph shape.
+    """
+
+    def fn(state: State) -> float:
+        return active_cost if index < state[variable] else idle_cost
+
+    return CallableCost(fn, label=f"frontend[{index}]")
+
+
+def add_sensor_frontend(
+    graph: TaskGraph,
+    index: int,
+    *,
+    input_channel: str,
+    obs_bytes: int = 13 * 8,
+    active_cost: float = 0.015,
+    idle_cost: float = 0.001,
+    variable: str = "n_sensors",
+) -> str:
+    """Add one per-sensor front-end (vad + features collapsed) to ``graph``.
+
+    The speech pipeline's microphone→vad→features prefix, generalized to a
+    sensor array: the task reads the shared trigger channel and emits
+    ``obs{index}`` feature vectors.  Returns the output channel name so a
+    fusion stage can wire its fan-in.
+    """
+    out_channel = f"obs{index}"
+    graph.add_channel(ChannelSpec(out_channel, item_bytes=obs_bytes))
+    graph.add_task(
+        Task(
+            f"sensor{index}",
+            cost=sensor_frontend_cost(index, active_cost, idle_cost, variable),
+            inputs=[input_channel],
+            outputs=[out_channel],
+        )
+    )
+    return out_channel
 
 
 def build_speech_graph(

@@ -29,14 +29,23 @@ __all__ = ["KernelCalibration", "calibrate_kernels"]
 
 
 def _time_call(fn, repeats: int) -> float:
-    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    """Best wall-clock seconds of ``fn()`` over ``repeats`` timed runs.
+
+    One untimed warm-up call first: the very first invocation of a kernel
+    pays one-off costs (allocator growth, cache warming) that would
+    otherwise land entirely on whichever measurement happens to run it
+    first — systematically inflating the smallest model count and
+    flattening the fitted slope.  Scheduling noise on a wall clock is
+    strictly additive, so the *minimum* of the timed runs is the least
+    biased estimate of the kernel's true cost.
+    """
+    fn()
     times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
         times.append(time.perf_counter() - t0)
-    times.sort()
-    return times[len(times) // 2]
+    return min(times)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,180 @@
+"""The workload diversity experiment (extension).
+
+Runs the frozen problem-instance datasets of every workload family
+(:mod:`repro.workloads`) through the solver ladder: each feasible
+instance is solved on the exact, bounded (ε=0.5) and list rungs, each
+table is certified by the method-independent W+S verifier, and each
+rung's mean latency is scored against the online HEFT baseline floor.
+The deliberately infeasible dataset entries are fed to the verifier,
+which must reproduce their recorded ``expected_findings`` — proof the
+certificates actually reject what they claim to reject.
+
+One exact schedule per family is also replayed on the sim substrate to
+confirm the solved latency is what actually unfolds (zero slips,
+simulated frame latency == L).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.optimal import OptimalScheduler
+from repro.core.table import ScheduleTable
+from repro.experiments.report import format_table
+from repro.runtime.static_exec import StaticExecutor
+from repro.workloads import (
+    PolicyScore,
+    certify_instance,
+    get_family,
+    load_dataset,
+    score_policy,
+)
+from repro.workloads.base import WorkloadInstance
+
+__all__ = ["WorkloadsResult", "run_workloads", "DEFAULT_POLICIES"]
+
+DEFAULT_POLICIES: tuple[str, ...] = ("exact", "bounded:0.5", "list")
+
+_FAMILY_ORDER = ("matmul", "fusion", "webinfer")
+
+
+@dataclass
+class InfeasibleCheck:
+    """The verifier's verdict on one deliberately broken instance."""
+
+    instance: str
+    expected: tuple[str, ...]
+    got: tuple[str, ...]
+
+    @property
+    def caught(self) -> bool:
+        """True when every expected rule actually fired."""
+        return set(self.expected) <= set(self.got)
+
+
+@dataclass
+class ReplayCheck:
+    """One exact schedule replayed on the sim substrate."""
+
+    instance: str
+    state: str
+    solved_latency: float
+    simulated_latency: float
+    slips: int
+
+    @property
+    def consistent(self) -> bool:
+        return self.slips == 0 and abs(self.solved_latency - self.simulated_latency) < 1e-6
+
+
+@dataclass
+class WorkloadsResult:
+    """Everything the workloads experiment produced."""
+
+    scores: list[PolicyScore] = field(default_factory=list)
+    infeasible: list[InfeasibleCheck] = field(default_factory=list)
+    replays: list[ReplayCheck] = field(default_factory=list)
+
+    @property
+    def all_clean(self) -> bool:
+        """True when every feasible solve verified with zero findings."""
+        return all(s.clean for s in self.scores)
+
+    @property
+    def all_caught(self) -> bool:
+        """True when every infeasible instance was rejected as recorded."""
+        return all(c.caught for c in self.infeasible)
+
+    def render(self) -> str:
+        rows = [
+            [s.instance, s.policy, f"{s.mean_latency:.4f}", f"{s.baseline_mean:.4f}",
+             f"{s.ratio:.3f}", "yes" if s.clean else "NO"]
+            for s in self.scores
+        ]
+        parts = [
+            format_table(
+                ["instance", "policy", "mean L (s)", "baseline (s)",
+                 "L/baseline", "verified"],
+                rows,
+                title="Policy ladder vs online HEFT baseline (frozen datasets)",
+            )
+        ]
+        rows = [
+            [c.instance, ",".join(c.expected), ",".join(c.got) or "-",
+             "caught" if c.caught else "MISSED"]
+            for c in self.infeasible
+        ]
+        parts.append(
+            format_table(
+                ["instance", "expected", "verifier found", "verdict"],
+                rows,
+                title="Infeasible-instance rejection (method-independent W rules)",
+            )
+        )
+        rows = [
+            [r.instance, r.state, f"{r.solved_latency:.4f}",
+             f"{r.simulated_latency:.4f}", str(r.slips),
+             "yes" if r.consistent else "NO"]
+            for r in self.replays
+        ]
+        parts.append(
+            format_table(
+                ["instance", "state", "solved L", "simulated L", "slips", "match"],
+                rows,
+                title="Exact schedules replayed on the sim substrate",
+            )
+        )
+        return "\n\n".join(parts)
+
+
+def _replay(instance: WorkloadInstance) -> ReplayCheck:
+    """Replay the densest state's exact schedule; compare L to the sim."""
+    family = get_family(instance.family)
+    graph = family.build_graph(instance)
+    cluster = family.cluster(instance)
+    state = list(family.state_space(instance))[-1]
+    sol = OptimalScheduler(cluster).solve(graph, state)
+    result = StaticExecutor(graph, state, cluster, sol).run(4)
+    src = next(iter(graph.source_tasks()))
+    source_end = sol.iteration.placement(src).end
+    return ReplayCheck(
+        instance=instance.name,
+        state=repr(state),
+        solved_latency=sol.latency - source_end,
+        simulated_latency=result.latency(0),
+        slips=result.meta["slips"],
+    )
+
+
+def run_workloads(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    instances_per_family: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> WorkloadsResult:
+    """Score every frozen instance on every rung; reject the broken ones.
+
+    ``instances_per_family`` caps the feasible instances solved per family
+    (``None`` = the whole dataset); ``workers`` fans per-state solves out
+    over processes.
+    """
+    out = WorkloadsResult()
+    for family in _FAMILY_ORDER:
+        instances = load_dataset(family)
+        feasible = [i for i in instances if not i.expected_findings]
+        broken = [i for i in instances if i.expected_findings]
+        if instances_per_family is not None:
+            feasible = feasible[:instances_per_family]
+        for inst in feasible:
+            for policy in policies:
+                out.scores.append(score_policy(inst, policy, parallel=workers))
+        for inst in broken:
+            report = certify_instance(inst)
+            got = tuple(sorted({f.rule for f in report.findings}))
+            out.infeasible.append(
+                InfeasibleCheck(instance=inst.name,
+                                expected=inst.expected_findings, got=got)
+            )
+        if feasible:
+            out.replays.append(_replay(feasible[0]))
+    return out

@@ -1,0 +1,109 @@
+"""The online list-scheduler baseline: one floor for every policy rung.
+
+§3.4's point is that regime switching is orthogonal to how each state's
+schedule is found.  To *score* a policy rung across workloads we need a
+method everyone can beat or tie: HEFT list scheduling
+(:func:`repro.sched.listsched.list_schedule`) run per state — the online
+scheduler an operator would deploy with no offline search at all.
+
+:func:`score_policy` solves an instance's full table on a given rung,
+verifies it with the method-independent W+S pass, and reports its mean
+latency as a ratio of the baseline floor (``<= 1`` means at least as
+good as the floor everywhere on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.optimal import OptimalScheduler
+from repro.core.table import ScheduleTable
+from repro.sched.listsched import list_schedule
+from repro.sim.network import CommModel
+from repro.state import State
+from repro.workloads.base import WorkloadInstance, get_family
+from repro.workloads.verify import verify_workload_table
+
+__all__ = ["baseline_latencies", "PolicyScore", "score_policy"]
+
+
+def baseline_latencies(
+    instance: WorkloadInstance, comm: Optional[CommModel] = None
+) -> dict[State, float]:
+    """Per-state latency of the online HEFT baseline for ``instance``."""
+    family = get_family(instance.family)
+    graph = family.build_graph(instance)
+    cluster = family.cluster(instance)
+    out: dict[State, float] = {}
+    for state in family.state_space(instance):
+        sched = list_schedule(graph, state, cluster, comm=comm)
+        out[state] = sched.latency
+    return out
+
+
+@dataclass
+class PolicyScore:
+    """One policy rung's score against the baseline floor on one instance.
+
+    ``ratio`` is mean policy latency over mean baseline latency; the
+    ladder guarantees ``ratio <= 1 + eps`` for bounded rungs and
+    ``ratio <= 1`` for exact (HEFT is itself a feasible point of the
+    exact search).
+    """
+
+    instance: str
+    policy: str
+    mean_latency: float
+    baseline_mean: float
+    ratio: float
+    finding_counts: dict = field(default_factory=dict)
+    per_state: dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when verification produced no gating findings."""
+        return self.finding_counts.get("error", 0) == 0
+
+
+def score_policy(
+    instance: WorkloadInstance,
+    policy: str,
+    comm: Optional[CommModel] = None,
+    cache=None,
+    parallel: Optional[int] = None,
+) -> PolicyScore:
+    """Solve ``instance`` on ``policy`` and score it against the baseline.
+
+    The solved table is verified with the full W+S pass
+    (:func:`~repro.workloads.verify.verify_workload_table`); the returned
+    score carries the finding counts so callers can gate on ``clean``.
+    """
+    family = get_family(instance.family)
+    graph = family.build_graph(instance)
+    space = family.state_space(instance)
+    cluster = family.cluster(instance)
+    scheduler = OptimalScheduler(cluster, comm=comm)
+    table = ScheduleTable.build(
+        graph, space, scheduler, policy=policy, cache=cache, parallel=parallel
+    )
+    report = verify_workload_table(instance, table, comm=comm)
+    base = baseline_latencies(instance, comm=comm)
+    per_state = {
+        repr(state): {
+            "latency": table.lookup(state).latency,
+            "baseline": base[state],
+        }
+        for state in space
+    }
+    mean_lat = sum(v["latency"] for v in per_state.values()) / len(per_state)
+    mean_base = sum(base.values()) / len(base)
+    return PolicyScore(
+        instance=instance.name,
+        policy=policy,
+        mean_latency=mean_lat,
+        baseline_mean=mean_base,
+        ratio=mean_lat / mean_base if mean_base > 0 else 1.0,
+        finding_counts=report.counts(),
+        per_state=per_state,
+    )

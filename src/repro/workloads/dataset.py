@@ -1,0 +1,84 @@
+"""Frozen problem-instance datasets, one JSON file per family.
+
+The dataset is the unit the golden tests pin: each family ships a few
+feasible seeded instances plus one deliberately infeasible instance whose
+``expected_findings`` the verifier must reproduce.  Because ``generate``
+is a pure function of the seed, the frozen files are *re-derivable* —
+:func:`regenerate` must equal :func:`load_dataset` byte for byte, and the
+golden suite proves it, so a drive-by edit to a generator cannot silently
+detach the dataset from the code.
+
+Refreshing after an intentional generator change::
+
+    PYTHONPATH=src python -c "from repro.workloads.dataset import freeze_all; freeze_all()"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workloads.base import FAMILIES, WorkloadInstance, get_family
+
+__all__ = [
+    "DATA_DIR",
+    "DATASET_SEEDS",
+    "dataset_path",
+    "regenerate",
+    "load_dataset",
+    "load_all",
+    "freeze",
+    "freeze_all",
+]
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: Seeds frozen per family; the last entry doubles as the infeasible seed.
+DATASET_SEEDS: tuple[int, ...] = (0, 1, 2)
+
+
+def dataset_path(family: str) -> Path:
+    """Where ``family``'s frozen instances live."""
+    return DATA_DIR / f"{family}.json"
+
+
+def regenerate(family: str) -> list[WorkloadInstance]:
+    """Re-derive the dataset from seeds alone (no file I/O)."""
+    fam = get_family(family)
+    out = [fam.generate(seed) for seed in DATASET_SEEDS]
+    out.append(fam.generate(DATASET_SEEDS[-1], infeasible=True))
+    return out
+
+
+def load_dataset(family: str) -> list[WorkloadInstance]:
+    """The frozen instances of ``family`` from ``data/<family>.json``."""
+    raw = json.loads(dataset_path(family).read_text())
+    return [WorkloadInstance.from_dict(d) for d in raw["instances"]]
+
+
+def load_all() -> dict[str, list[WorkloadInstance]]:
+    """Every family's frozen dataset, keyed by family name."""
+    from repro import workloads  # noqa: F401  (registers the built-ins)
+
+    return {name: load_dataset(name) for name in sorted(FAMILIES)}
+
+
+def freeze(family: str) -> Path:
+    """Write ``family``'s regenerated dataset to its frozen path."""
+    instances = regenerate(family)
+    path = dataset_path(family)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "family": family,
+        "seeds": list(DATASET_SEEDS),
+        "instances": [inst.to_dict() for inst in instances],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def freeze_all() -> list[Path]:
+    """Freeze every registered family's dataset."""
+    from repro import workloads  # noqa: F401  (registers the built-ins)
+
+    return [freeze(name) for name in sorted(FAMILIES)]

@@ -1,0 +1,143 @@
+"""Method-independent workload verification (the W rules).
+
+A workload instance carries *service requirements* — a latency deadline
+and a source period (throughput demand).  This pass re-derives
+feasibility certificates from the graph and cluster **alone**, never from
+a solver artifact, so the same check fails a broken instance no matter
+which policy rung produced the schedules:
+
+* **W001 throughput-infeasible** — the source period is below the
+  capacity lower bound: the least per-iteration work (minimum-area
+  variant per task) over the machine's total speed.  No schedule by any
+  method can drain iterations that fast.
+* **W002 deadline-unachievable** — the deadline is below the
+  best-variant critical-path bound at the fastest node speed (the same
+  certificate S008 holds claimed latencies against).
+* **W003 deadline-violated** — a *concrete* table entry misses an
+  achievable deadline; re-solving on a tighter rung can fix this one.
+
+:func:`verify_workload_table` composes these with the existing S-rule
+pass (:func:`repro.analysis.schedverify.verify_schedule_table`), so one
+report certifies both the instance and the artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.schedverify import verify_schedule_table
+from repro.core.table import ScheduleTable
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.cluster import ClusterSpec
+from repro.sim.network import CommModel
+from repro.state import State
+from repro.workloads.base import WorkloadInstance, get_family
+
+__all__ = [
+    "capacity_bound",
+    "latency_bound",
+    "certify_instance",
+    "verify_workload_table",
+]
+
+_EPS = 1e-9
+
+
+def capacity_bound(graph: TaskGraph, state: State, cluster: ClusterSpec) -> float:
+    """Lower bound on any schedule's initiation interval in ``state``.
+
+    One iteration needs at least the minimum-area variant's work from
+    every task; the machine retires at most ``sum(processor speeds)``
+    nominal work per second.  The ratio bounds the II from below for
+    *every* scheduling method.
+    """
+    total_speed = sum(p.speed for p in cluster.processors)
+    work = sum(
+        min(v.area for v in graph.task(name).variants(state, cluster.procs_per_node))
+        for name in graph.task_names
+    )
+    return work / total_speed
+
+
+def latency_bound(graph: TaskGraph, state: State, cluster: ClusterSpec) -> float:
+    """Lower bound on any schedule's latency in ``state``.
+
+    The best-variant critical path run entirely at the fastest node
+    speed — the same certificate S008 uses against claimed latencies.
+    """
+    path = graph.critical_path(
+        state, use_best_variants=True, max_workers=cluster.procs_per_node
+    )
+    return path / max(cluster.node_speeds)
+
+
+def certify_instance(
+    instance: WorkloadInstance,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Check an instance's service requirements against machine capacity.
+
+    Emits W001/W002 per violating state.  Pure function of the instance:
+    the graph, state space and cluster are rebuilt from the family, so a
+    frozen dataset entry is certified without trusting anything solved.
+    """
+    report = report if report is not None else AnalysisReport()
+    family = get_family(instance.family)
+    graph = family.build_graph(instance)
+    cluster = family.cluster(instance)
+    for state in family.state_space(instance):
+        loc = f"workload:{instance.name}/state:{state!r}"
+        if instance.source_period is not None:
+            floor = capacity_bound(graph, state, cluster)
+            if instance.source_period < floor - _EPS:
+                report.add(
+                    "W001",
+                    loc,
+                    f"source period {instance.source_period:g}s is below the "
+                    f"capacity bound {floor:g}s (min work / total speed)",
+                )
+        if instance.deadline is not None:
+            floor = latency_bound(graph, state, cluster)
+            if instance.deadline < floor - _EPS:
+                report.add(
+                    "W002",
+                    loc,
+                    f"deadline {instance.deadline:g}s is below the "
+                    f"critical-path bound {floor:g}s",
+                )
+    return report
+
+
+def verify_workload_table(
+    instance: WorkloadInstance,
+    table: ScheduleTable,
+    comm: Optional[CommModel] = None,
+    states: Optional[Iterable[State]] = None,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Certify instance requirements AND a solved table against them.
+
+    Runs :func:`certify_instance` (W001/W002), the full S-rule pass over
+    the table, and W003 for any entry whose realized latency misses the
+    instance deadline.
+    """
+    report = certify_instance(instance, report=report)
+    family = get_family(instance.family)
+    graph = family.build_graph(instance)
+    cluster = family.cluster(instance)
+    space = list(states) if states is not None else list(family.state_space(instance))
+    verify_schedule_table(table, graph, space, cluster, comm=comm, report=report)
+    if instance.deadline is not None:
+        for state in space:
+            if state not in table:
+                continue  # S010 already covers the gap
+            sol = table.lookup(state)
+            if sol.latency > instance.deadline + _EPS:
+                report.add(
+                    "W003",
+                    f"workload:{instance.name}/state:{state!r}",
+                    f"schedule latency {sol.latency:g}s exceeds the deadline "
+                    f"{instance.deadline:g}s",
+                )
+    return report

@@ -108,7 +108,7 @@ class TestCalibration:
     @pytest.fixture(scope="class")
     def calibration(self):
         return calibrate_kernels(
-            frame_shape=(32, 48), model_counts=(1, 2, 4), repeats=1
+            frame_shape=(32, 48), model_counts=(1, 2, 4), repeats=3
         )
 
     def test_shapes(self, calibration):

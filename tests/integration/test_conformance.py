@@ -9,6 +9,10 @@ with broker round-trip coalescing on and off — coalescing is a transport
 optimization and must be invisible in the item streams.  Two schedules
 are covered: a fully serial placement and a data-parallel one (T4 as
 ``dp2``), so the chunked execution path is held to the same contract.
+
+The same contract is then applied to every :mod:`repro.workloads`
+family (matmul, fusion, webinfer): serial and dp schedules, sim ==
+threaded == process item streams, bitwise-identical live outputs.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.core.schedule import IterationSchedule, PipelinedSchedule, Placement
 from repro.runtime.static_exec import StaticExecutor
 from repro.sim.cluster import SINGLE_NODE_SMP
 from repro.state import State
+from repro.workloads import get_family
 
 pytestmark = pytest.mark.slow
 
@@ -198,3 +203,128 @@ class TestLatencyInvariants:
         if which != "dp":
             pytest.skip("serial schedule has no dp placement")
         assert results["process"].meta["dp_plan"]["T4"] == (2, "dp2")
+
+
+# ---------------------------------------------------------------------------
+# The same contract for every workload family (repro.workloads)
+# ---------------------------------------------------------------------------
+
+WORKLOAD_FAMILIES = ("matmul", "fusion", "webinfer")
+WL_FRAMES = 3
+WL_SUBSTRATES = ("sim", "threaded", "process")
+
+
+def _wl_serial_schedule(graph, state, cluster) -> PipelinedSchedule:
+    """Every task sequentially on processor 0 (node 0), topo order."""
+    speed = cluster.node_speeds[0]
+    placements, t = [], 0.0
+    for name in graph.topo_order():
+        d = graph.task(name).cost(state) / speed
+        placements.append(Placement(name, (0,), t, d))
+        t += d
+    period = max(t, _wl_source_period(graph) or 0.0)
+    return PipelinedSchedule(
+        IterationSchedule(placements), period=period, shift=0, n_procs=1
+    )
+
+
+def _wl_dp_schedule(graph, state, cluster, dp_task) -> PipelinedSchedule:
+    """Serial chain except the family's dp task runs as ``dp2`` on (0, 1)."""
+    speed = cluster.node_speeds[0]
+    placements, t = [], 0.0
+    for name in graph.topo_order():
+        task = graph.task(name)
+        if name == dp_task:
+            d = task.data_parallel.duration(task, state, 2) / speed
+            placements.append(Placement(name, (0, 1), t, d, variant="dp2"))
+        else:
+            d = task.cost(state) / speed
+            placements.append(Placement(name, (0,), t, d))
+        t += d
+    period = max(t, _wl_source_period(graph) or 0.0)
+    return PipelinedSchedule(
+        IterationSchedule(placements), period=period, shift=0, n_procs=2
+    )
+
+
+def _wl_source_period(graph):
+    for name in graph.source_tasks():
+        if graph.task(name).period is not None:
+            return graph.task(name).period
+    return None
+
+
+def wl_run_on(family_name: str, substrate: str, kind: str):
+    """One fresh end-to-end run: new live graph + kernels per substrate."""
+    fam = get_family(family_name)
+    inst = fam.generate(0)
+    cluster = fam.cluster(inst)
+    state = list(fam.state_space(inst))[-1]  # densest regime: dp chunks > 1
+    graph = fam.build_graph(inst)
+    live, statics = fam.attach_kernels(graph, inst)
+    if kind == "serial":
+        sched = _wl_serial_schedule(live, state, cluster)
+    else:
+        sched = _wl_dp_schedule(live, state, cluster, fam.dp_task)
+    ex = StaticExecutor(
+        live, state, cluster, sched, runtime=substrate, static_inputs=statics
+    )
+    return ex.run(WL_FRAMES)
+
+
+@pytest.fixture(
+    scope="module",
+    params=[(f, k) for f in WORKLOAD_FAMILIES for k in ("serial", "dp")],
+    ids=[f"{f}-{k}" for f in WORKLOAD_FAMILIES for k in ("serial", "dp")],
+)
+def wl_runs(request):
+    family, kind = request.param
+    return family, kind, {
+        sub: wl_run_on(family, sub, kind) for sub in WL_SUBSTRATES
+    }
+
+
+class TestWorkloadConformance:
+    """sim == threaded == process for matmul, fusion and webinfer."""
+
+    def test_item_streams_identical(self, wl_runs):
+        _, _, results = wl_runs
+        reference = item_counts(results["sim"])
+        for sub in ("threaded", "process"):
+            assert item_counts(results[sub]) == reference, sub
+
+    def test_every_frame_completes_everywhere(self, wl_runs):
+        _, _, results = wl_runs
+        for sub, res in results.items():
+            assert res.completed == list(range(WL_FRAMES)), sub
+
+    def test_live_outputs_bitwise_identical(self, wl_runs):
+        """threaded and process produce equal values on every terminal
+        channel at every timestamp — the integer-exact kernel contract."""
+        _, _, results = wl_runs
+        t_out = results["threaded"].meta["outputs"]
+        p_out = results["process"].meta["outputs"]
+        assert set(t_out) == set(p_out)
+        assert t_out, "no terminal channels collected"
+        for ch in t_out:
+            for ts in range(WL_FRAMES):
+                assert t_out[ch][ts] == p_out[ch][ts], (ch, ts)
+
+    def test_live_stats_identical(self, wl_runs):
+        _, _, results = wl_runs
+        t_stats = results["threaded"].meta["channel_stats"]
+        p_stats = results["process"].meta["channel_stats"]
+        for ch in streaming_channels(results["threaded"]):
+            assert t_stats[ch] == p_stats[ch], ch
+
+    def test_dp_plan_reaches_process_runtime(self, wl_runs):
+        family, kind, results = wl_runs
+        if kind != "dp":
+            pytest.skip("serial schedule has no dp placement")
+        dp_task = get_family(family).dp_task
+        assert results["process"].meta["dp_plan"][dp_task] == (2, "dp2")
+
+    def test_gc_reclaims_equally(self, wl_runs):
+        _, _, results = wl_runs
+        collected = {sub: res.gc_collected for sub, res in results.items()}
+        assert len(set(collected.values())) == 1, collected
