@@ -124,3 +124,57 @@ def test_shape_table_verify_overhead(tracker_graph):
         f"verify {verify_s * 1e3:.2f}ms ({fraction:.2%})"
     )
     assert fraction < MAX_VERIFY_FRACTION
+
+
+def test_model_check_overhead(tracker_graph):
+    """Pass 5 (explicit-state model check) per shipped configuration.
+
+    The model checker joined the ``verify=`` gates, so it lives under the
+    same budget: one full ``check_model`` (exploration + per-channel
+    minimal-capacity certificates) for every shipped configuration must
+    stay inside the shape-table fraction the other gate passes are held
+    to.  POR collapses the protocol's confluent interleavings to a single
+    walk, which is what keeps the explored state counts (recorded below)
+    in the tens rather than the exponential full product.
+    """
+    from repro.analysis import build_model, check_model
+    from repro.workloads import FAMILIES, load_dataset
+
+    base = ClusterSpec(nodes=2, procs_per_node=4)
+    _table, build_s = _timed(
+        ShapeTable.build, tracker_graph, State(n_models=2), base
+    )
+
+    configs = [("tracker", tracker_graph)]
+    for name, fam in sorted(FAMILIES.items()):
+        inst = load_dataset(name)[0]
+        configs.append((name, fam.build_graph(inst)))
+
+    per_config = {}
+    total_s = 0.0
+    for name, graph in configs:
+        result = build_model(graph).explore()
+        assert result.ok, f"{name}: {result.verdict}"
+        report, check_s = _timed(check_model, graph)
+        assert not [f for f in report.findings if f.severity.name == "ERROR"]
+        total_s += check_s
+        per_config[name] = {
+            "states": result.states,
+            "transitions": result.transitions,
+            "horizon": result.horizon,
+            "check_wall_s": check_s,
+        }
+        print(
+            f"\nmodel check [{name}]: {result.states} states, "
+            f"{result.transitions} transitions, {check_s * 1e3:.2f}ms"
+        )
+
+    fraction = total_s / build_s
+    RESULTS["model_check"] = {
+        "configs": per_config,
+        "total_wall_s": total_s,
+        "shape_build_s": build_s,
+        "verify_fraction": fraction,
+    }
+    print(f"model check total: {total_s * 1e3:.2f}ms ({fraction:.2%} of build)")
+    assert fraction < MAX_VERIFY_FRACTION

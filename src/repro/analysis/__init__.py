@@ -1,6 +1,6 @@
 """Static analysis & concurrency checking for schedules, graphs and STM.
 
-Four passes, one report model:
+Six passes, one report model:
 
 1. **Graph lint** (:func:`lint_graph`) — structural rules ``Gxxx``:
    cycles, dangling channels, unreachable tasks, data-parallel
@@ -19,25 +19,48 @@ Four passes, one report model:
 4. **Dynamic race/deadlock detection** (:class:`RaceChecker`) — rules
    ``Rxxx``: a vector-clock happens-before checker threaded through the
    live runtime via the ``analysis=`` hook.
+5. **Explicit-state model checking** (:func:`check_model`) — rules
+   ``Mxxx``: the (graph, capacity, consume-declaration) configuration
+   compiled into a finite transition system and exhaustively explored;
+   reachable deadlocks come back with minimized counterexample traces
+   (validated against the real threaded runtime by :func:`replay_trace`),
+   bounded channels get minimal-capacity certificates, and a completed
+   exploration downgrades the pass-3 heuristics it proves safe.
+6. **Source determinism lint** (:func:`lint_sources`) — rules ``Dxxx``:
+   unseeded RNGs, wall-clock reads inside kernels, bare locks in the STM
+   layer the race checker cannot see.
 
-Passes 1-3 are wired into :meth:`ScheduleTable.build` /
+Passes 1-3 and 5 are wired into :meth:`ScheduleTable.build` /
 :meth:`ShapeTable.build` / :class:`StaticExecutor` behind their opt-in
-``verify=`` parameter, and into CI as ``python -m repro.analysis
---strict``.  See ``docs/TUTORIAL.md`` §12 for the workflow and the waiver
-syntax.
+``verify=`` parameter, and all static passes into CI as ``python -m
+repro.analysis --strict`` (with ``--sarif`` for code-scanning upload).
+See ``docs/TUTORIAL.md`` §12 for the workflow and the waiver syntax, §16
+for reading model-checker counterexamples.
 """
 
 from repro.analysis.findings import AnalysisReport, Finding, Severity, Waiver
 from repro.analysis.fleetverify import verify_packing
 from repro.analysis.graphlint import lint_graph
+from repro.analysis.model import (
+    ChannelDecl,
+    ModelResult,
+    Step,
+    StmModel,
+    build_model,
+    check_model,
+    minimal_capacity,
+)
 from repro.analysis.race import RaceChecker, TrackedLock
+from repro.analysis.replay import ReplayOutcome, replay_trace
 from repro.analysis.rules import RULES, Rule, get_rule
+from repro.analysis.sarif import from_sarif, to_sarif, write_sarif
 from repro.analysis.schedverify import (
     verify_schedule_table,
     verify_shape_table,
     verify_solution,
 )
-from repro.analysis.stmcheck import check_stm
+from repro.analysis.srclint import lint_file, lint_sources
+from repro.analysis.stmcheck import check_stm, schedule_in_flight
 from repro.analysis.waivers import collect_waivers, parse_waiver_line
 
 __all__ = [
@@ -54,8 +77,23 @@ __all__ = [
     "verify_shape_table",
     "verify_packing",
     "check_stm",
+    "schedule_in_flight",
     "RaceChecker",
     "TrackedLock",
+    "ChannelDecl",
+    "Step",
+    "StmModel",
+    "ModelResult",
+    "build_model",
+    "check_model",
+    "minimal_capacity",
+    "ReplayOutcome",
+    "replay_trace",
+    "lint_file",
+    "lint_sources",
+    "to_sarif",
+    "from_sarif",
+    "write_sarif",
     "collect_waivers",
     "parse_waiver_line",
 ]

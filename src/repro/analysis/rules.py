@@ -11,7 +11,11 @@ Rule ids are stable and prefixed by pass:
   (:mod:`repro.workloads.verify`);
 * ``Pxxx`` — pass 3, STM protocol analysis (:mod:`repro.analysis.stmcheck`);
 * ``Rxxx`` — pass 4, dynamic race/deadlock detection
-  (:mod:`repro.analysis.race`).
+  (:mod:`repro.analysis.race`);
+* ``Mxxx`` — pass 5, explicit-state model checking
+  (:mod:`repro.analysis.model`);
+* ``Dxxx`` — pass 6, source determinism lint
+  (:mod:`repro.analysis.srclint`).
 
 Adding a rule is three steps: register it here (id, severity, description,
 fix hint), emit it from the owning pass via ``report.add(rule_id, ...)``,
@@ -216,6 +220,49 @@ RULES: dict[str, Rule] = _catalog(
          "Threads acquire the same locks in conflicting orders; the cycle "
          "can deadlock under the right interleaving.",
          "impose a global lock acquisition order"),
+    # -- pass 5: explicit-state model checking (repro.analysis.model) --------
+    Rule("M001", "reachable-deadlock", E,
+         "The model checker reached a state where tasks block on each "
+         "other's channel operations in a cycle; the counterexample trace "
+         "is a real interleaving that wedges the threaded runtime.",
+         "raise the blocking channel's capacity or shrink the consume "
+         "window; replay the trace with repro.analysis.replay to watch it"),
+    Rule("M002", "progress-violation", E,
+         "A task starves forever under any fair scheduling: the operation "
+         "it waits for (a put of a skipped timestamp, a consume no agent "
+         "has left) is in no agent's remaining program.",
+         "align producer and consumer stride/offset declarations"),
+    Rule("M003", "capacity-certificate", I,
+         "The minimal-capacity certificate for a bounded channel: the "
+         "least capacity under which no wedge is reachable.  Declared "
+         "capacity below the minimum is an ERROR (a reachable wedge "
+         "P002's estimate can miss); above the slip-free bound it is "
+         "over-provisioned INFO.",
+         "set capacity between the minimal safe value and the schedule's "
+         "slip-free bound"),
+    Rule("M004", "state-budget-exceeded", W,
+         "Exploration hit the state-space budget before finishing; no "
+         "deadlock-freedom claim is made for this configuration (the "
+         "checker is explicit about what it did not prove).",
+         "raise the budget, shorten the horizon, or check a smaller "
+         "configuration"),
+    # -- pass 6: source determinism lint (repro.analysis.srclint) ------------
+    Rule("D001", "unseeded-rng", W,
+         "Source constructs random.Random() with no seed or calls the "
+         "module-level random functions (shared, unseeded state); results "
+         "become irreproducible across runs.",
+         "construct random.Random(seed) from an explicit seed"),
+    Rule("D002", "wallclock-in-kernel", W,
+         "Kernel code reads the wall clock (time.time/perf_counter/"
+         "monotonic); kernels must be pure functions of their inputs so "
+         "every substrate produces bitwise-identical outputs.",
+         "hoist timing to the harness (obs spans) and keep kernels pure"),
+    Rule("D003", "untracked-lock", W,
+         "STM-layer code creates a bare threading.Lock; channel-adjacent "
+         "mutexes must come from RaceChecker.tracked_lock when analysis "
+         "is attached, or the race detector goes blind there.",
+         "take the lock from analysis.tracked_lock(...) when a checker is "
+         "attached (bare Lock is fine on the analysis=None branch)"),
 )
 
 

@@ -1,0 +1,157 @@
+"""SARIF 2.1.0 export so CI findings surface as code-scanning annotations.
+
+One :class:`~repro.analysis.findings.AnalysisReport` becomes one SARIF
+``run``: the rule catalog maps to ``tool.driver.rules``, each finding to
+a ``result``.  Findings whose location is a source coordinate
+(``src:<relpath>:<line>``, as :mod:`repro.analysis.srclint` emits) get a
+``physicalLocation`` GitHub can annotate; artifact-level findings (graph,
+table, channel object paths) carry a ``logicalLocation`` with the object
+path as the fully qualified name.  Waived findings are exported with an
+``inSource`` suppression rather than dropped — same honesty-over-silence
+rule as the JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.rules import RULES
+
+__all__ = ["to_sarif", "write_sarif", "from_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_SRC_LOC = re.compile(r"^src:(?P<path>[^:]+):(?P<line>\d+)$")
+
+
+def _location(raw: str) -> dict:
+    m = _SRC_LOC.match(raw)
+    if m:
+        return {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f"src/{m.group('path')}",
+                    "uriBaseId": "REPOROOT",
+                },
+                "region": {"startLine": int(m.group("line"))},
+            }
+        }
+    return {
+        "logicalLocations": [{"fullyQualifiedName": raw, "kind": "member"}]
+    }
+
+
+def to_sarif(report: AnalysisReport, tool_name: str = "repro.analysis") -> dict:
+    """The report as a SARIF 2.1.0 log (one run, full rule catalog)."""
+    used = {f.rule for f in report}
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {"level": _LEVEL[rule.severity]},
+        }
+        for rule in RULES.values()
+        if rule.id in used
+    ]
+    results = []
+    for f in report:
+        result = {
+            "ruleId": f.rule,
+            "level": _LEVEL[f.severity],
+            "message": {"text": f.message},
+            "locations": [_location(f.location)],
+        }
+        if f.hint:
+            result["properties"] = {"hint": f.hint}
+        if f.waived:
+            result["suppressions"] = [
+                {"kind": "inSource", "justification": f.waiver_reason}
+            ]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"REPOROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    report: AnalysisReport,
+    path: Union[str, Path],
+    tool_name: str = "repro.analysis",
+) -> Path:
+    """Serialize :func:`to_sarif` to ``path``; returns the path written."""
+    out = Path(path)
+    out.write_text(
+        json.dumps(to_sarif(report, tool_name=tool_name), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return out
+
+
+def from_sarif(log: dict) -> AnalysisReport:
+    """Rebuild a report from a SARIF log (the round-trip test's inverse).
+
+    Only fields SARIF captures come back: rule, level, message, location
+    (source coordinates re-encoded as ``src:path:line``), hint, and the
+    waiver justification.
+    """
+    level_to_sev = {v: k for k, v in _LEVEL.items()}
+    report = AnalysisReport()
+    for run in log.get("runs", ()):
+        for result in run.get("results", ()):
+            locs = result.get("locations", [{}])[0]
+            phys = locs.get("physicalLocation")
+            if phys:
+                uri = phys["artifactLocation"]["uri"]
+                uri = uri[len("src/") :] if uri.startswith("src/") else uri
+                location = f"src:{uri}:{phys['region']['startLine']}"
+            else:
+                logical = locs.get("logicalLocations", [{}])
+                location = logical[0].get("fullyQualifiedName", "")
+            finding = report.add(
+                result["ruleId"],
+                location,
+                result["message"]["text"],
+                hint=result.get("properties", {}).get("hint", ""),
+                severity=level_to_sev[result.get("level", "warning")],
+            )
+            suppressions = result.get("suppressions")
+            if suppressions:
+                from dataclasses import replace
+
+                report.findings[-1] = replace(
+                    finding,
+                    waived=True,
+                    waiver_reason=suppressions[0].get("justification", ""),
+                )
+    return report

@@ -1,0 +1,183 @@
+"""Pass 6: AST determinism lint over the library source (rules ``Dxxx``).
+
+The reproduction's contract is bitwise determinism: seeded generators,
+pure kernels, and concurrency that the race checker can see.  Three
+source-level habits quietly break it, and each is mechanically
+detectable from the AST — no execution required:
+
+* ``D001`` — ``random.Random()`` with no seed, or the module-level
+  ``random.*`` functions (shared hidden state);
+* ``D002`` — wall-clock reads (``time.time``/``perf_counter``/
+  ``monotonic``) inside *kernel* code, which must be a pure function of
+  its inputs (kernel scope: any function named ``compute*``/``kernel*``,
+  or any function in a module whose name contains ``kernels``);
+* ``D003`` — a bare ``threading.Lock()``/``RLock()`` in :mod:`repro.stm`
+  modules, where channel-adjacent mutexes must come from
+  ``RaceChecker.tracked_lock`` whenever a checker is attached.  A
+  ``Lock()`` on the explicit ``analysis is None`` fallback branch is the
+  sanctioned pattern and is exempt; anything else needs an inline waiver
+  stating why the race checker may stay blind there.
+
+Findings carry ``src:<relpath>:<line>`` locations so waivers can match a
+file fragment and the SARIF export can point GitHub code scanning at the
+exact line.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.findings import AnalysisReport
+
+__all__ = ["lint_sources", "lint_file"]
+
+_WALLCLOCK = {"time", "perf_counter", "monotonic", "perf_counter_ns", "time_ns"}
+_KERNEL_NAMES = ("compute", "kernel")
+
+
+def _src_root() -> Path:
+    # src/repro/analysis/srclint.py -> the repro package directory.
+    return Path(__file__).resolve().parents[1]
+
+
+class _Aliases(ast.NodeVisitor):
+    """Resolve what local names refer to the random/time/threading modules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}  # local name -> module
+        self.members: dict[str, tuple[str, str]] = {}  # local -> (module, attr)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("random", "time", "threading"):
+                self.modules[alias.asname or alias.name] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("random", "time", "threading"):
+            for alias in node.names:
+                self.members[alias.asname or alias.name] = (node.module, alias.name)
+
+
+def _resolve_call(node: ast.Call, aliases: _Aliases) -> Optional[tuple[str, str]]:
+    """``(module, attr)`` for calls through a tracked module, else None."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        module = aliases.modules.get(func.value.id)
+        if module is not None:
+            return module, func.attr
+    elif isinstance(func, ast.Name):
+        return aliases.members.get(func.id)
+    return None
+
+
+def _in_analysis_branch(node: ast.Call, parents: dict[ast.AST, ast.AST]) -> bool:
+    """True when the call sits under an ``if`` that tests ``analysis``."""
+    cur: Optional[ast.AST] = node
+    while cur is not None:
+        if isinstance(cur, ast.If) and any(
+            isinstance(n, ast.Name) and "analysis" in n.id
+            for n in ast.walk(cur.test)
+        ):
+            return True
+        cur = parents.get(cur)
+    return False
+
+
+def lint_file(
+    path: Path,
+    *,
+    root: Optional[Path] = None,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Lint one source file; locations are relative to ``root``."""
+    report = report if report is not None else AnalysisReport()
+    root = root if root is not None else _src_root()
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.name
+    if root.name == "repro" and not rel.startswith("repro"):
+        rel = f"repro/{rel}"
+    # Syntax errors propagate: an unimportable tree is not lintable, and
+    # CI byte-compiles the package before this pass ever runs.
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+
+    aliases = _Aliases()
+    aliases.visit(tree)
+
+    parents: dict[ast.AST, ast.AST] = {}
+    func_of: dict[ast.AST, Optional[str]] = {}
+    stack: list[tuple[ast.AST, Optional[str]]] = [(tree, None)]
+    while stack:
+        node, fname = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+            child_fname = fname
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_fname = child.name
+            func_of[child] = child_fname
+            stack.append((child, child_fname))
+
+    module_is_kernel = "kernels" in path.stem
+    in_stm = rel.startswith(("repro/stm/", "stm/"))
+
+    def kernel_scope(node: ast.AST) -> bool:
+        if module_is_kernel:
+            return func_of.get(node) is not None
+        # Name *prefixes* only: ``run_kernel``/``invoke_kernel`` are the
+        # harness (where span timing belongs), not kernels.
+        fname = func_of.get(node)
+        return fname is not None and fname.startswith(_KERNEL_NAMES)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = _resolve_call(node, aliases)
+        if resolved is None:
+            continue
+        module, attr = resolved
+        loc = f"src:{rel}:{node.lineno}"
+        if module == "random":
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    report.add(
+                        "D001", loc, "random.Random() constructed with no seed"
+                    )
+            elif attr not in ("SystemRandom",):
+                report.add(
+                    "D001",
+                    loc,
+                    f"module-level random.{attr}() uses shared unseeded state",
+                )
+        elif module == "time" and attr in _WALLCLOCK and kernel_scope(node):
+            report.add(
+                "D002",
+                loc,
+                f"kernel scope reads the wall clock via time.{attr}()",
+            )
+        elif (
+            module == "threading"
+            and attr in ("Lock", "RLock")
+            and in_stm
+            and not _in_analysis_branch(node, parents)
+        ):
+            report.add(
+                "D003",
+                loc,
+                f"bare threading.{attr}() in the STM layer; the race "
+                "checker cannot see critical sections behind it",
+            )
+    return report
+
+
+def lint_sources(
+    root: Optional[Path] = None, report: Optional[AnalysisReport] = None
+) -> AnalysisReport:
+    """Lint every ``.py`` file under ``root`` (default: the repro package)."""
+    report = report if report is not None else AnalysisReport()
+    root = root if root is not None else _src_root()
+    for path in sorted(root.rglob("*.py")):
+        lint_file(path, root=root, report=report)
+    return report

@@ -22,9 +22,39 @@ from repro.analysis.findings import AnalysisReport
 from repro.core.optimal import ScheduleSolution
 from repro.graph.taskgraph import TaskGraph
 
-__all__ = ["check_stm"]
+__all__ = ["check_stm", "schedule_in_flight"]
 
 _EPS = 1e-9
+
+
+def schedule_in_flight(
+    graph: TaskGraph, solution: ScheduleSolution
+) -> dict[str, int]:
+    """Schedule-derived live-item count per streaming channel.
+
+    Item k of a channel is live from its producer's end until the last
+    consumer's end, k*II later for each successive timestamp — the
+    estimate ``P002`` gates on, and the slip-free capacity bound the
+    model checker's M003 certificates quote.  Channels whose producer or
+    consumers are missing from the schedule are omitted (malformed
+    schedules are pass-2 findings).
+    """
+    out: dict[str, int] = {}
+    sched = solution.iteration
+    period = solution.period
+    if period <= _EPS:
+        return out
+    for ch in _streaming_channels(graph):
+        prods = [t.name for t in graph.producers(ch.name)]
+        cons = [t.name for t in graph.consumers(ch.name)]
+        if not prods or not cons:
+            continue
+        if any(t not in sched for t in (*prods, *cons)):
+            continue
+        produced = min(sched.placement(p).end for p in prods)
+        drained = max(sched.placement(c).end for c in cons)
+        out[ch.name] = int((drained - produced + _EPS) / period) + 1
+    return out
 
 
 def _streaming_channels(graph: TaskGraph):
@@ -134,29 +164,19 @@ def check_stm(
     # of a channel is live from its producer's end until the last
     # consumer's end, k*II later for each successive timestamp.
     if solution is not None:
-        sched = solution.iteration
-        period = solution.period
-        if period > _EPS:
-            for ch in streaming:
-                if ch.capacity is None:
-                    continue
-                prods = [t.name for t in graph.producers(ch.name)]
-                cons = [t.name for t in graph.consumers(ch.name)]
-                if not prods or not cons:
-                    continue
-                if any(t not in sched for t in (*prods, *cons)):
-                    continue  # malformed schedules are pass-2 findings
-                produced = min(sched.placement(p).end for p in prods)
-                drained = max(sched.placement(c).end for c in cons)
-                in_flight = int((drained - produced + _EPS) / period) + 1
-                if in_flight > ch.capacity:
-                    report.add(
-                        "P002",
-                        f"{loc}/channel:{ch.name}",
-                        f"schedule keeps {in_flight} items of {ch.name!r} in "
-                        f"flight (produced {produced:g}s, drained {drained:g}s, "
-                        f"II={period:g}s) but capacity is {ch.capacity}",
-                    )
+        live = schedule_in_flight(graph, solution)
+        for ch in streaming:
+            if ch.capacity is None or ch.name not in live:
+                continue
+            in_flight = live[ch.name]
+            if in_flight > ch.capacity:
+                report.add(
+                    "P002",
+                    f"{loc}/channel:{ch.name}",
+                    f"schedule keeps {in_flight} items of {ch.name!r} in "
+                    f"flight (II={solution.period:g}s) but capacity is "
+                    f"{ch.capacity}",
+                )
 
     # P003 — produced-never-consumed channels leak items forever.  Terminal
     # outputs of sink tasks are exempt: every runtime drains those with

@@ -122,24 +122,28 @@ class ScheduleTable:
         return table
 
     def verify(self, graph, space, cluster, comm=None) -> None:
-        """Run analysis passes 1-3 over this table; raise on ERROR findings.
+        """Run analysis passes 1-3 and 5 over this table; raise on ERRORs.
 
         Checks the graph's structure, every per-state schedule certificate
         (placement legality, precedence, re-derived latency L), table
         totality over ``space``, transition resolvability, and the STM
-        protocol under each schedule.  Raises
-        :class:`~repro.errors.AnalysisError` carrying the full
-        :class:`~repro.analysis.findings.AnalysisReport` when any ERROR
-        finding is present.
+        protocol under each schedule — then model-checks the channel
+        configuration (one exploration covers every state: the transition
+        system depends on wiring, capacities and declarations, not on the
+        per-state timings) and downgrades pass-3 heuristics it proves
+        safe.  Raises :class:`~repro.errors.AnalysisError` carrying the
+        full :class:`~repro.analysis.findings.AnalysisReport` when any
+        ERROR finding is present.
         """
         # Deferred import: repro.analysis imports this module's collaborators.
-        from repro.analysis import check_stm, lint_graph, verify_schedule_table
+        from repro.analysis import check_model, check_stm, lint_graph, verify_schedule_table
         from repro.errors import AnalysisError
 
         report = lint_graph(graph, states=space)
         verify_schedule_table(self, graph, space, cluster, comm=comm, report=report)
         for state in self.states():
             check_stm(graph, self.lookup(state), report=report)
+        check_model(graph, solutions=self.solutions(), report=report)
         if not report.ok():
             raise AnalysisError(report)
 

@@ -198,16 +198,19 @@ class ShapeTable:
         max_node_failures: int = 1,
         proc_failures: bool = True,
     ) -> None:
-        """Run analysis passes 1-3 over this table; raise on ERROR findings.
+        """Run analysis passes 1-3 and 5 over this table; raise on ERRORs.
 
         Checks graph structure, every per-shape schedule certificate, the
         STM protocol under each schedule, and failover coverage for all
-        node-failure shapes within ``max_node_failures``.  Raises
-        :class:`~repro.errors.AnalysisError` with the full report when any
-        ERROR finding is present.
+        node-failure shapes within ``max_node_failures`` — then
+        model-checks the channel configuration once (the transition
+        system is shape-independent; every degraded schedule shares the
+        wiring and capacities) and downgrades pass-3 heuristics it proves
+        safe.  Raises :class:`~repro.errors.AnalysisError` with the full
+        report when any ERROR finding is present.
         """
         # Deferred import: repro.analysis imports this module.
-        from repro.analysis import check_stm, lint_graph, verify_shape_table
+        from repro.analysis import check_model, check_stm, lint_graph, verify_shape_table
         from repro.errors import AnalysisError
 
         states = {sol.state for sol in self.solutions()}
@@ -223,6 +226,7 @@ class ShapeTable:
         )
         for sol in self.solutions():
             check_stm(graph, sol, report=report)
+        check_model(graph, solutions=self.solutions(), report=report)
         if not report.ok():
             raise AnalysisError(report)
 

@@ -170,11 +170,11 @@ class StaticExecutor:
 
     @staticmethod
     def _verify_startup(graph, state, cluster, schedule, solution, comm) -> None:
-        """Opt-in ``verify=`` gate: analysis passes 1-3 on this executor's
-        inputs; raises :class:`~repro.errors.AnalysisError` on ERROR
-        findings before anything runs."""
+        """Opt-in ``verify=`` gate: analysis passes 1-3 and 5 on this
+        executor's inputs; raises :class:`~repro.errors.AnalysisError` on
+        ERROR findings before anything runs."""
         # Deferred import: repro.analysis imports schedule/graph modules.
-        from repro.analysis import check_stm, lint_graph, verify_solution
+        from repro.analysis import check_model, check_stm, lint_graph, verify_solution
         from repro.errors import AnalysisError
 
         if solution is None:
@@ -190,6 +190,7 @@ class StaticExecutor:
         report = lint_graph(graph, states=[state])
         verify_solution(solution, graph, cluster, comm=comm, report=report)
         check_stm(graph, solution, report=report)
+        check_model(graph, solution, report=report)
         if not report.ok():
             raise AnalysisError(report)
 

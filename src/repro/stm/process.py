@@ -408,6 +408,7 @@ class ChannelBroker:
         self.done_payloads: dict[int, Any] = {}
         self._thread: Optional[threading.Thread] = None
         self._t0 = _time.perf_counter()
+        # analysis: waive D003 repro/stm/process.py -- broker-internal mutexes guard cross-process queues the vector-clock checker cannot observe; per-process channel state is single-threaded
         self._lock = threading.Lock()
         #: parent-side waiters (zero-round-trip collector path) sleep here
         self._cond = threading.Condition(self._lock)
@@ -955,6 +956,7 @@ class WorkerLink:
         self.default_timeout = default_timeout
         self._seq = itertools.count(1)
         self._pending: dict[int, tuple[threading.Event, list]] = {}
+        # analysis: waive D003 repro/stm/process.py -- worker reply-client mutex pairs a queue with an Event across the process boundary; no STM connection state crosses it
         self._lock = threading.Lock()
         self._receiver: Optional[threading.Thread] = None
         self._stopped = False

@@ -28,7 +28,7 @@ class TestSeverity:
 class TestCatalog:
     def test_ids_well_formed(self):
         for rid, rule in RULES.items():
-            assert re.fullmatch(r"[GSPRFW]\d{3}", rid)
+            assert re.fullmatch(r"[GSPRFWMD]\d{3}", rid)
             assert rule.id == rid
 
     def test_every_rule_documented(self):

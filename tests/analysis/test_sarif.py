@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 export: structure, locations, suppressions, round-trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    AnalysisReport,
+    Severity,
+    Waiver,
+    from_sarif,
+    to_sarif,
+    write_sarif,
+)
+
+
+def sample_report():
+    rep = AnalysisReport()
+    rep.add("D001", "src:repro/sim/noise.py:42", "random.Random() with no seed")
+    rep.add("M001", "graph:pipe/tasks:A+B", "reachable deadlock: ...")
+    rep.add(
+        "M003",
+        "graph:pipe/channel:c",
+        "declared capacity 1 is certified: minimal safe capacity is 1",
+        severity=Severity.INFO,
+    )
+    rep.add("D003", "src:repro/stm/process.py:412", "bare threading.Lock()")
+    rep.apply_waivers(
+        [Waiver(rule="D003", location="stm/process.py", reason="broker-internal")]
+    )
+    return rep
+
+
+class TestExport:
+    def test_log_envelope(self):
+        log = to_sarif(sample_report())
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert len(run["results"]) == 4
+
+    def test_rule_catalog_restricted_to_used_rules(self):
+        log = to_sarif(sample_report())
+        ids = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert ids == {"D001", "M001", "M003", "D003"}
+
+    def test_src_location_becomes_physical(self):
+        log = to_sarif(sample_report())
+        result = log["runs"][0]["results"][0]
+        phys = result["locations"][0]["physicalLocation"]
+        assert phys["artifactLocation"]["uri"] == "src/repro/sim/noise.py"
+        assert phys["region"]["startLine"] == 42
+
+    def test_object_path_becomes_logical(self):
+        log = to_sarif(sample_report())
+        result = log["runs"][0]["results"][1]
+        (logical,) = result["locations"][0]["logicalLocations"]
+        assert logical["fullyQualifiedName"] == "graph:pipe/tasks:A+B"
+
+    def test_severity_levels_map(self):
+        log = to_sarif(sample_report())
+        levels = [r["level"] for r in log["runs"][0]["results"]]
+        assert levels == ["warning", "error", "note", "warning"]
+
+    def test_waived_finding_gets_suppression(self):
+        log = to_sarif(sample_report())
+        result = log["runs"][0]["results"][3]
+        (sup,) = result["suppressions"]
+        assert sup["kind"] == "inSource"
+        assert sup["justification"] == "broker-internal"
+        # Unwaived results carry no suppressions key at all.
+        assert "suppressions" not in log["runs"][0]["results"][0]
+
+
+class TestRoundTrip:
+    def test_findings_survive(self):
+        before = sample_report()
+        after = from_sarif(to_sarif(before))
+        assert len(after.findings) == len(before.findings)
+        for a, b in zip(after.findings, before.findings):
+            assert a.rule == b.rule
+            assert a.severity is b.severity
+            assert a.location == b.location
+            assert a.message == b.message
+            assert a.waived == b.waived
+            assert a.waiver_reason == b.waiver_reason
+
+    def test_gating_preserved(self):
+        before = sample_report()
+        after = from_sarif(to_sarif(before))
+        assert after.ok() == before.ok()
+        assert after.ok(strict=True) == before.ok(strict=True)
+
+    def test_write_sarif_is_valid_json(self, tmp_path):
+        out = write_sarif(sample_report(), tmp_path / "findings.sarif")
+        log = json.loads(out.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        assert len(from_sarif(log).findings) == 4

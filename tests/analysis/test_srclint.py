@@ -1,0 +1,209 @@
+"""Pass 6 (determinism lint): D rules, kernel scope, the repo's own sweep."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, lint_file, lint_sources
+from repro.analysis.waivers import collect_waivers
+
+
+def rules(report):
+    return {f.rule for f in report.findings}
+
+
+def lint_snippet(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(path, root=tmp_path)
+
+
+class TestD001:
+    def test_unseeded_random_constructor(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import random
+            rng = random.Random()
+            """,
+        )
+        (f,) = report.findings
+        assert f.rule == "D001" and f.severity is Severity.WARNING
+        assert "no seed" in f.message
+
+    def test_seeded_constructor_is_clean(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import random
+            rng = random.Random(7)
+            """,
+        )
+        assert not report.findings
+
+    def test_module_level_functions_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import random
+            x = random.randint(0, 3)
+            """,
+        )
+        (f,) = report.findings
+        assert f.rule == "D001" and "shared unseeded state" in f.message
+
+    def test_from_import_and_alias_resolved(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from random import Random as R
+            rng = R()
+            """,
+        )
+        assert rules(report) == {"D001"}
+
+    def test_system_random_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import random
+            rng = random.SystemRandom()
+            """,
+        )
+        assert not report.findings
+
+
+class TestD002:
+    def test_wallclock_in_compute_function(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import time
+            def compute(state, inputs):
+                return {"out": time.perf_counter()}
+            """,
+        )
+        (f,) = report.findings
+        assert f.rule == "D002" and "wall clock" in f.message
+
+    def test_wallclock_in_kernels_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import time
+            def helper():
+                return time.time()
+            """,
+            name="app_kernels.py",
+        )
+        assert rules(report) == {"D002"}
+
+    def test_harness_timing_is_not_kernel_scope(self, tmp_path):
+        # run_kernel/invoke_kernel are the harness, where span timing
+        # belongs; only compute*/kernel* name prefixes are kernel scope.
+        report = lint_snippet(
+            tmp_path,
+            """
+            import time
+            def run_kernel(task):
+                t0 = time.perf_counter()
+                return t0
+            """,
+        )
+        assert not report.findings
+
+    def test_module_level_wallclock_is_fine(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import time
+            T0 = time.time()
+            """,
+        )
+        assert not report.findings
+
+
+class TestD003:
+    def test_bare_lock_in_stm_flagged(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import threading
+            lock = threading.Lock()
+            """,
+            name="stm/guard.py",
+        )
+        (f,) = report.findings
+        assert f.rule == "D003" and "race checker" in f.message
+
+    def test_rlock_flagged_too(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import threading
+            lock = threading.RLock()
+            """,
+            name="stm/guard.py",
+        )
+        assert rules(report) == {"D003"}
+
+    def test_analysis_none_branch_is_sanctioned(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import threading
+            def make_lock(analysis):
+                if analysis is None:
+                    return threading.Lock()
+                return analysis.tracked_lock("ch")
+            """,
+            name="stm/guard.py",
+        )
+        assert not report.findings
+
+    def test_outside_stm_is_fine(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            import threading
+            lock = threading.Lock()
+            """,
+            name="runtime/guard.py",
+        )
+        assert not report.findings
+
+
+class TestSweep:
+    def test_syntax_error_propagates(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n", encoding="utf-8")
+        with pytest.raises(SyntaxError):
+            lint_file(path, root=tmp_path)
+
+    def test_repo_sweep_is_clean_after_waivers(self):
+        # The library's own sources must pass their own lint: every
+        # remaining D finding carries an inline waiver with a reason.
+        report = lint_sources()
+        root = Path(__file__).resolve().parents[2]
+        report.apply_waivers(collect_waivers([root / "src"]))
+        gating = [f for f in report.findings if not f.waived]
+        assert not gating, [str(f) for f in gating]
+        assert report.ok(strict=True)
+
+    def test_stm_process_waivers_cover_broker_locks(self):
+        # The two sanctioned bare locks in repro.stm.process stay visible
+        # in the report (waived, with reasons), not silently exempted.
+        report = lint_sources()
+        root = Path(__file__).resolve().parents[2]
+        report.apply_waivers(collect_waivers([root / "src"]))
+        waived = [
+            f
+            for f in report.findings
+            if f.rule == "D003" and "stm/process.py" in f.location
+        ]
+        assert len(waived) == 2
+        assert all(f.waived and f.waiver_reason for f in waived)
